@@ -1,0 +1,55 @@
+//! §4.1 key-frame extraction cost vs cut density and the two run
+//! strategies.
+
+use cbvr_keyframe::{
+    extract_keyframes, extract_keyframes_adaptive, AdaptiveConfig, KeyframeConfig, Strategy,
+};
+use cbvr_video::{Category, GeneratorConfig, Video, VideoGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn clip(shots: u32, frames_per_shot: u32) -> Video {
+    let generator = VideoGenerator::new(GeneratorConfig {
+        width: 96,
+        height: 72,
+        shots_per_video: shots,
+        min_shot_frames: frames_per_shot,
+        max_shot_frames: frames_per_shot,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid config");
+    generator.generate(Category::Cartoon, 5).expect("generation")
+}
+
+fn bench_keyframe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyframe");
+    group.sample_size(10);
+
+    // Same total length (48 frames), different cut densities.
+    for (shots, per_shot) in [(2u32, 24u32), (6, 8), (12, 4)] {
+        let video = clip(shots, per_shot);
+        group.bench_with_input(
+            BenchmarkId::new("extract", format!("{shots}cuts_x{per_shot}f")),
+            &video,
+            |b, v| b.iter(|| extract_keyframes(v, &KeyframeConfig::default())),
+        );
+    }
+
+    // Adaptive shot-boundary detection vs the fixed threshold.
+    let video = clip(6, 8);
+    group.bench_with_input(BenchmarkId::new("adaptive", "6cuts_x8f"), &video, |b, v| {
+        b.iter(|| extract_keyframes_adaptive(v, &AdaptiveConfig::default()))
+    });
+
+    // Strategy comparison on one clip.
+    let video = clip(6, 8);
+    for (name, strategy) in [("first_of_run", Strategy::FirstOfRun), ("middle_of_run", Strategy::MiddleOfRun)] {
+        let config = KeyframeConfig { strategy, ..KeyframeConfig::default() };
+        group.bench_with_input(BenchmarkId::new("strategy", name), &video, |b, v| {
+            b.iter(|| extract_keyframes(v, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_keyframe);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end query latency, with and without the §4.2 range index
+//! (ablation A1: pruning speeds queries; the table1 bin's `--no-index`
+//! flag covers the precision side).
+
+use cbvr_core::engine::QueryOptions;
+use cbvr_eval::{Corpus, CorpusConfig};
+use cbvr_features::FeatureSet;
+use cbvr_imgproc::Histogram256;
+use cbvr_index::paper_range;
+use cbvr_video::GeneratorConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_retrieval(c: &mut Criterion) {
+    let corpus = Corpus::build(CorpusConfig {
+        videos_per_category: 4,
+        generator: GeneratorConfig { width: 64, height: 48, ..GeneratorConfig::default() },
+        ..CorpusConfig::default()
+    })
+    .expect("corpus build");
+
+    // One pre-extracted query (extraction cost is measured in features.rs;
+    // here we isolate ranking).
+    let probe = corpus.query_videos(1).expect("queries");
+    let frame = probe[0].1.frame(0).expect("has frames");
+    let features = FeatureSet::extract(frame);
+    let range = paper_range(&Histogram256::of_rgb_luma(frame));
+
+    let mut group = c.benchmark_group("retrieval");
+    group.sample_size(30);
+    for (name, use_index) in [("with_index", true), ("no_index", false)] {
+        let options = QueryOptions { k: 20, use_index, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("query_frame_ranked", name), &options, |b, opts| {
+            b.iter(|| corpus.engine.query_features(&features, range, opts))
+        });
+    }
+
+    // Whole query including feature extraction (the user-visible latency).
+    group.bench_function("query_frame_end_to_end", |b| {
+        b.iter(|| corpus.engine.query_frame(frame, &QueryOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

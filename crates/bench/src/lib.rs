@@ -1,0 +1,1 @@
+//! cbvr-bench: experiment bins and criterion benches.

@@ -1,0 +1,32 @@
+//! # cbvr-cli — the command-line front end
+//!
+//! The paper ships a Tomcat web application with two roles (§2–§3):
+//! an Administrator who adds, renames and deletes videos, and a User who
+//! searches by content or metadata. This crate is that application as a
+//! CLI over a durable on-disk [`cbvr_storage::CbvrDatabase`]:
+//!
+//! ```text
+//! cbvr --db DIR generate --category sports --seed 3 --name match.vsc
+//! cbvr --db DIR ingest   --file clip.vsc --name match.vsc
+//! cbvr --db DIR list
+//! cbvr --db DIR rename   --id 3 --name better_name.vsc
+//! cbvr --db DIR delete   --id 3
+//! cbvr --db DIR query    --image frame.bmp [--k 10] [--feature gabor] [--no-index]
+//! cbvr --db DIR query-clip --file clip.vsc [--k 5]
+//! cbvr --db DIR search   --name sports
+//! cbvr --db DIR export   --id 3 --out dir/
+//! cbvr --db DIR stats
+//! cbvr --db DIR vacuum
+//! ```
+//!
+//! The argument parser is hand-rolled (no new dependencies); every
+//! command is a pure function over parsed arguments, unit-testable
+//! without a process boundary.
+#![warn(missing_docs)]
+
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+pub use commands::{run, CliError};

@@ -1,0 +1,6 @@
+//! `cbvr` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(cbvr_cli::commands::main_with(&args));
+}

@@ -1,0 +1,169 @@
+//! Dynamic-programming sequence similarity (dynamic time warping).
+//!
+//! §1: "We use a dynamic programming approach to compute the similarity
+//! between the feature vectors for the query and feature vectors in the
+//! feature database." For clip-to-clip retrieval the natural reading is
+//! alignment of the two *key-frame feature sequences*: two clips of the
+//! same scene cut differently still align shot-for-shot. This module is
+//! that kernel, generic over the element distance.
+
+/// Dynamic time warping distance between two sequences under `dist`,
+/// normalised by `len(a) + len(b)` so values are comparable across
+/// sequence lengths and exactly symmetric (normalising by the optimal
+/// path's own length is not: co-optimal paths of different lengths break
+/// ties asymmetrically). Empty-vs-empty is 0; empty-vs-nonempty is
+/// `f64::INFINITY`.
+pub fn dtw_distance<T>(a: &[T], b: &[T], mut dist: impl FnMut(&T, &T) -> f64) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let n = a.len();
+    let m = b.len();
+    let mut prev_cost = vec![f64::INFINITY; m + 1];
+    let mut cur_cost = vec![f64::INFINITY; m + 1];
+    prev_cost[0] = 0.0;
+
+    for i in 1..=n {
+        cur_cost[0] = f64::INFINITY;
+        for j in 1..=m {
+            let d = dist(&a[i - 1], &b[j - 1]);
+            let best = prev_cost[j - 1].min(prev_cost[j]).min(cur_cost[j - 1]);
+            cur_cost[j] = best + d;
+        }
+        std::mem::swap(&mut prev_cost, &mut cur_cost);
+    }
+    prev_cost[m] / (n + m) as f64
+}
+
+/// DTW with a Sakoe–Chiba band: cells with `|i - j·n/m| > band` are
+/// skipped, bounding runtime for long sequences. `band` is in elements of
+/// `a`'s axis; `usize::MAX` degenerates to full DTW.
+pub fn dtw_distance_banded<T>(
+    a: &[T],
+    b: &[T],
+    band: usize,
+    mut dist: impl FnMut(&T, &T) -> f64,
+) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let n = a.len();
+    let m = b.len();
+    let mut prev_cost = vec![f64::INFINITY; m + 1];
+    let mut cur_cost = vec![f64::INFINITY; m + 1];
+    prev_cost[0] = 0.0;
+
+    for i in 1..=n {
+        for c in cur_cost.iter_mut() {
+            *c = f64::INFINITY;
+        }
+        // Centre of the band on b's axis for this row.
+        let centre = (i * m) / n;
+        let lo = centre.saturating_sub(band).max(1);
+        let hi = (centre + band).min(m);
+        for j in lo..=hi {
+            let d = dist(&a[i - 1], &b[j - 1]);
+            let best = prev_cost[j - 1].min(prev_cost[j]).min(cur_cost[j - 1]);
+            if best.is_finite() {
+                cur_cost[j] = best + d;
+            }
+        }
+        std::mem::swap(&mut prev_cost, &mut cur_cost);
+    }
+    let total = prev_cost[m];
+    if !total.is_finite() {
+        // Band too narrow for these lengths; fall back to exact DTW.
+        return dtw_distance(a, b, dist);
+    }
+    total / (n + m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[test]
+    fn identical_sequences_are_zero() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(dtw_distance(&s, &s, scalar), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        let s = [1.0];
+        assert_eq!(dtw_distance::<f64>(&[], &[], scalar), 0.0);
+        assert!(dtw_distance(&[], &s, scalar).is_infinite());
+        assert!(dtw_distance(&s, &[], scalar).is_infinite());
+    }
+
+    #[test]
+    fn time_shift_is_cheap() {
+        // The same ramp, one padded with a repeated head: DTW should be
+        // near zero where a lockstep metric would not be.
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let b = [0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0];
+        let d = dtw_distance(&a, &b, scalar);
+        assert!(d < 1e-9, "time shift should align freely, got {d}");
+    }
+
+    #[test]
+    fn different_content_is_expensive() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [5.0, 5.0, 5.0];
+        // Optimal path: 3 diagonal steps of cost 5 → 15 / (3 + 3) = 2.5.
+        let d = dtw_distance(&a, &b, scalar);
+        assert!((d - 2.5).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        let b = [2.0, 4.0, 1.0];
+        let ab = dtw_distance(&a, &b, scalar);
+        let ba = dtw_distance(&b, &a, scalar);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalisation_bounds() {
+        // Distance is a mean over the path: bounded by max element distance.
+        let a = [0.0, 10.0, 0.0, 10.0];
+        let b = [10.0, 0.0, 10.0, 0.0];
+        let d = dtw_distance(&a, &b, scalar);
+        assert!(d <= 10.0 + 1e-12);
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn banded_matches_full_for_wide_band() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.7 + 0.3).sin()).collect();
+        let full = dtw_distance(&a, &b, scalar);
+        let banded = dtw_distance_banded(&a, &b, 25, scalar);
+        assert!((full - banded).abs() < 1e-9, "full {full} vs banded {banded}");
+    }
+
+    #[test]
+    fn narrow_band_falls_back_rather_than_failing() {
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.0, 5.0];
+        let d = dtw_distance_banded(&a, &b, 0, scalar);
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn closer_sequence_ranks_first() {
+        let query = [1.0, 2.0, 3.0];
+        let near = [1.1, 2.1, 2.9];
+        let far = [9.0, 9.0, 9.0];
+        assert!(dtw_distance(&query, &near, scalar) < dtw_distance(&query, &far, scalar));
+    }
+}

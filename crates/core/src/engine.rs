@@ -1,0 +1,664 @@
+//! The query engine (the User role's search).
+//!
+//! Loads the key-frame feature catalog once (parsing the stored feature
+//! strings back into descriptors), builds the §4.2 range index over it,
+//! calibrates the distance→similarity scales, and then serves:
+//!
+//! - **query by frame** — extract the query frame's features, prune
+//!   candidates through the range index, rank by the combined weighted
+//!   similarity (or any single feature via [`FeatureWeights::single`]);
+//! - **query by clip** — align the query's key-frame feature sequence
+//!   against each stored video's sequence with DTW (§1's
+//!   dynamic-programming similarity) and rank videos;
+//! - **query by metadata** — substring match on video names.
+
+use crate::dtw::dtw_distance;
+use crate::error::Result;
+use crate::ingest::extract_feature_sets_parallel;
+use crate::score::ScoreCalibration;
+use crate::weights::FeatureWeights;
+use cbvr_features::{FeatureKind, FeatureSet};
+use cbvr_imgproc::{Histogram256, RgbImage};
+use cbvr_index::{paper_range, RangeIndex, RangeKey};
+use cbvr_keyframe::{extract_keyframes, KeyframeConfig};
+use cbvr_storage::backend::Backend;
+use cbvr_storage::CbvrDatabase;
+use cbvr_video::Video;
+use std::collections::HashMap;
+
+/// One catalog entry: a key frame's identity, range and features.
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// `KEY_FRAMES` primary key.
+    pub i_id: u64,
+    /// Owning video.
+    pub v_id: u64,
+    /// Range-finder key (`MIN`/`MAX`).
+    pub range: RangeKey,
+    /// All seven descriptors.
+    pub features: FeatureSet,
+}
+
+/// Query-frame preprocessing applied before feature extraction.
+///
+/// Query images arrive with arbitrary exposure; normalising them closes
+/// part of the gap to catalog footage. `None` is the paper's behaviour.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum QueryPreprocess {
+    /// Use the frame as submitted.
+    #[default]
+    None,
+    /// Luma histogram equalisation ([`cbvr_imgproc::enhance::equalize_rgb`]).
+    Equalize,
+    /// 1% contrast stretch ([`cbvr_imgproc::enhance::stretch_contrast_rgb`]).
+    StretchContrast,
+}
+
+impl QueryPreprocess {
+    /// Apply to a frame.
+    pub fn apply(self, frame: &RgbImage) -> RgbImage {
+        match self {
+            QueryPreprocess::None => frame.clone(),
+            QueryPreprocess::Equalize => cbvr_imgproc::enhance::equalize_rgb(frame),
+            QueryPreprocess::StretchContrast => {
+                cbvr_imgproc::enhance::stretch_contrast_rgb(frame, 0.01)
+            }
+        }
+    }
+}
+
+/// Query parameters.
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    /// How many results to return.
+    pub k: usize,
+    /// Feature weights (default: Table 1-derived combined weights).
+    pub weights: FeatureWeights,
+    /// Prune candidates through the range index before scoring.
+    pub use_index: bool,
+    /// Normalisation applied to the query frame before extraction.
+    pub preprocess: QueryPreprocess,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            k: 20,
+            weights: FeatureWeights::default(),
+            use_index: true,
+            preprocess: QueryPreprocess::None,
+        }
+    }
+}
+
+/// A ranked key-frame result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrameMatch {
+    /// Matched key frame.
+    pub i_id: u64,
+    /// Its video.
+    pub v_id: u64,
+    /// Combined similarity in `[0, 1]`, higher is better.
+    pub score: f64,
+}
+
+/// A ranked whole-video result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VideoMatch {
+    /// Matched video.
+    pub v_id: u64,
+    /// DTW distance of key-frame feature sequences, lower is better.
+    pub distance: f64,
+}
+
+/// The in-memory retrieval engine.
+pub struct QueryEngine {
+    entries: Vec<CatalogEntry>,
+    index: RangeIndex<usize>,
+    calibration: ScoreCalibration,
+    video_names: HashMap<u64, String>,
+    /// Per-video entry indices, in key-frame order.
+    video_sequences: HashMap<u64, Vec<usize>>,
+}
+
+impl QueryEngine {
+    /// Build from a database: scan `KEY_FRAMES`, parse feature strings,
+    /// index and calibrate.
+    pub fn from_database<B: Backend>(db: &mut CbvrDatabase<B>) -> Result<QueryEngine> {
+        let mut rows = Vec::new();
+        db.scan_key_frames(|row| {
+            rows.push(row.clone());
+            true
+        })?;
+        let mut entries = Vec::with_capacity(rows.len());
+        for row in rows {
+            let features = FeatureSet::from_feature_strings([
+                (FeatureKind::ColorHistogram, row.sch.as_str()),
+                (FeatureKind::Glcm, row.glcm.as_str()),
+                (FeatureKind::Gabor, row.gabor.as_str()),
+                (FeatureKind::Tamura, row.tamura.as_str()),
+                (FeatureKind::Correlogram, row.acc.as_str()),
+                (FeatureKind::Naive, row.naive.as_str()),
+                (FeatureKind::Regions, row.srg.as_str()),
+            ])?;
+            entries.push(CatalogEntry {
+                i_id: row.i_id,
+                v_id: row.v_id,
+                range: RangeKey::new(row.min, row.max),
+                features,
+            });
+        }
+        let names = db
+            .list_videos()?
+            .into_iter()
+            .map(|(v_id, name, _)| (v_id, name))
+            .collect();
+        Ok(Self::from_catalog(entries, names))
+    }
+
+    /// Build directly from entries (the evaluation harness skips the
+    /// storage round trip).
+    pub fn from_catalog(entries: Vec<CatalogEntry>, video_names: HashMap<u64, String>) -> QueryEngine {
+        let mut index = RangeIndex::new();
+        let mut video_sequences: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            index.insert(e.range, i);
+            video_sequences.entry(e.v_id).or_default().push(i);
+        }
+        let refs: Vec<&FeatureSet> = entries.iter().map(|e| &e.features).collect();
+        let calibration = ScoreCalibration::from_catalog(&refs);
+        QueryEngine { entries, index, calibration, video_names, video_sequences }
+    }
+
+    /// Number of catalog entries (key frames).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrow an entry.
+    pub fn entry(&self, i: usize) -> &CatalogEntry {
+        &self.entries[i]
+    }
+
+    /// Video ids with at least one key frame.
+    pub fn video_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.video_sequences.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The calibration in use (exposed for diagnostics/benches).
+    pub fn calibration(&self) -> &ScoreCalibration {
+        &self.calibration
+    }
+
+    /// Combined similarity between two feature sets under `weights`.
+    pub fn combined_similarity(
+        &self,
+        a: &FeatureSet,
+        b: &FeatureSet,
+        weights: &FeatureWeights,
+    ) -> f64 {
+        weights.combine(|kind| self.calibration.similarity(kind, a.distance(b, kind)))
+    }
+
+    /// Candidate entry indices for a query range.
+    fn candidates(&self, range: RangeKey, use_index: bool) -> Vec<usize> {
+        if use_index {
+            self.index.overlap_candidates(range)
+        } else {
+            (0..self.entries.len()).collect()
+        }
+    }
+
+    /// Query by example frame.
+    pub fn query_frame(&self, frame: &RgbImage, options: &QueryOptions) -> Vec<FrameMatch> {
+        let prepared;
+        let frame = if options.preprocess == QueryPreprocess::None {
+            frame
+        } else {
+            prepared = options.preprocess.apply(frame);
+            &prepared
+        };
+        let features = FeatureSet::extract(frame);
+        let range = paper_range(&Histogram256::of_rgb_luma(frame));
+        self.query_features(&features, range, options)
+    }
+
+    /// Query by pre-extracted features (the evaluation harness reuses
+    /// extracted query features across sweeps).
+    pub fn query_features(
+        &self,
+        features: &FeatureSet,
+        range: RangeKey,
+        options: &QueryOptions,
+    ) -> Vec<FrameMatch> {
+        let mut matches: Vec<FrameMatch> = self
+            .candidates(range, options.use_index)
+            .into_iter()
+            .map(|i| {
+                let e = &self.entries[i];
+                FrameMatch {
+                    i_id: e.i_id,
+                    v_id: e.v_id,
+                    score: self.combined_similarity(features, &e.features, &options.weights),
+                }
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.i_id.cmp(&b.i_id))
+        });
+        matches.truncate(options.k);
+        matches
+    }
+
+    /// How many candidates the index yields for a query frame (ablation
+    /// instrumentation: candidate-set size vs the full catalog).
+    pub fn candidate_count(&self, frame: &RgbImage, use_index: bool) -> usize {
+        let range = paper_range(&Histogram256::of_rgb_luma(frame));
+        self.candidates(range, use_index).len()
+    }
+
+    /// Query by example clip: DTW over key-frame feature sequences.
+    pub fn query_video(
+        &self,
+        query: &Video,
+        keyframe_config: &KeyframeConfig,
+        options: &QueryOptions,
+    ) -> Vec<VideoMatch> {
+        let keyframes = extract_keyframes(query, keyframe_config);
+        let frames: Vec<&RgbImage> = keyframes.iter().map(|k| &k.frame).collect();
+        let query_features = extract_feature_sets_parallel(&frames, 4);
+        self.query_feature_sequence(&query_features, options)
+    }
+
+    /// Clip query from a pre-extracted feature sequence.
+    pub fn query_feature_sequence(
+        &self,
+        query: &[FeatureSet],
+        options: &QueryOptions,
+    ) -> Vec<VideoMatch> {
+        let mut matches: Vec<VideoMatch> = self
+            .video_sequences
+            .iter()
+            .map(|(&v_id, indices)| {
+                let sequence: Vec<&FeatureSet> =
+                    indices.iter().map(|&i| &self.entries[i].features).collect();
+                let query_refs: Vec<&FeatureSet> = query.iter().collect();
+                let distance = dtw_distance(&query_refs, &sequence, |a, b| {
+                    1.0 - self.combined_similarity(a, b, &options.weights)
+                });
+                VideoMatch { v_id, distance }
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.v_id.cmp(&b.v_id))
+        });
+        matches.truncate(options.k);
+        matches
+    }
+
+    /// Metadata query: case-insensitive substring match on video names.
+    pub fn find_videos_by_name(&self, needle: &str) -> Vec<(u64, String)> {
+        let needle = needle.to_lowercase();
+        let mut out: Vec<(u64, String)> = self
+            .video_names
+            .iter()
+            .filter(|(_, name)| name.to_lowercase().contains(&needle))
+            .map(|(&id, name)| (id, name.clone()))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// The name of a video, if known.
+    pub fn video_name(&self, v_id: u64) -> Option<&str> {
+        self.video_names.get(&v_id).map(String::as_str)
+    }
+
+    /// Add a freshly ingested video's entries incrementally (no full
+    /// rebuild). The calibration is *not* recomputed — it drifts slowly
+    /// and a full rebuild (`from_database`) refreshes it; incremental
+    /// adds keep interactive admin operations cheap.
+    pub fn add_video(&mut self, name: &str, entries: Vec<CatalogEntry>) {
+        for e in entries {
+            let idx = self.entries.len();
+            self.index.insert(e.range, idx);
+            self.video_sequences.entry(e.v_id).or_default().push(idx);
+            self.video_names.insert(e.v_id, name.to_string());
+            self.entries.push(e);
+        }
+    }
+
+    /// Remove a video's entries incrementally. Rebuilds the range index
+    /// and sequence map over the surviving entries (cheap relative to
+    /// feature extraction); calibration is left as-is.
+    pub fn remove_video(&mut self, v_id: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.v_id != v_id);
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.video_names.remove(&v_id);
+            self.index = RangeIndex::new();
+            self.video_sequences.clear();
+            for (i, e) in self.entries.iter().enumerate() {
+                self.index.insert(e.range, i);
+                self.video_sequences.entry(e.v_id).or_default().push(i);
+            }
+        }
+        removed
+    }
+
+    /// Render the Fig. 7 index tree with catalog occupancy.
+    pub fn render_index_tree(&self) -> String {
+        self.index.render_tree()
+    }
+
+    /// Index statistics (for the ablation bench).
+    pub fn index_stats(&self) -> cbvr_index::IndexStats {
+        self.index.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::{ingest_video, IngestConfig};
+    use cbvr_video::{Category, GeneratorConfig, VideoGenerator};
+
+    fn generator() -> VideoGenerator {
+        VideoGenerator::new(GeneratorConfig {
+            width: 64,
+            height: 48,
+            shots_per_video: 2,
+            min_shot_frames: 4,
+            max_shot_frames: 6,
+            ..GeneratorConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn populated_engine() -> &'static (QueryEngine, Vec<(u64, Category)>) {
+        // Ingestion is expensive; build one shared fixture for the suite.
+        static FIXTURE: std::sync::OnceLock<(QueryEngine, Vec<(u64, Category)>)> =
+            std::sync::OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let mut db = cbvr_storage::CbvrDatabase::in_memory().unwrap();
+            let g = generator();
+            let mut labels = Vec::new();
+            for (i, category) in [Category::Sports, Category::Movie, Category::ELearning]
+                .iter()
+                .enumerate()
+            {
+                for seed in 0..2u64 {
+                    let video = g.generate(*category, seed + 10 * i as u64).unwrap();
+                    let name = format!("{}_{seed}", category.name());
+                    let report =
+                        ingest_video(&mut db, &name, &video, &IngestConfig::default()).unwrap();
+                    labels.push((report.v_id, *category));
+                }
+            }
+            (QueryEngine::from_database(&mut db).unwrap(), labels)
+        })
+    }
+
+    #[test]
+    fn engine_loads_catalog_from_database() {
+        let (engine, labels) = populated_engine();
+        assert!(!engine.is_empty());
+        assert_eq!(engine.video_ids().len(), labels.len());
+        for (v_id, _) in labels {
+            assert!(engine.video_name(*v_id).is_some());
+        }
+    }
+
+    #[test]
+    fn self_query_ranks_own_keyframe_first() {
+        let (engine, _) = populated_engine();
+        // Query with a catalog key frame's own features: its entry must
+        // score 1.0 and rank first.
+        let e = engine.entry(0).clone();
+        let results = engine.query_features(&e.features, e.range, &QueryOptions::default());
+        assert_eq!(results[0].i_id, e.i_id);
+        assert!((results[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_category_outranks_other_categories() {
+        let (engine, labels) = populated_engine();
+        let g = generator();
+        // A fresh sports clip (unseen seed): its frames should retrieve
+        // sports key frames ahead of movie/e-learning ones.
+        let probe = g.generate(Category::Sports, 999).unwrap();
+        let frame = probe.frame(0).unwrap();
+        let results = engine.query_frame(frame, &QueryOptions { k: 5, ..Default::default() });
+        assert!(!results.is_empty());
+        let category_of = |v_id: u64| labels.iter().find(|(v, _)| *v == v_id).unwrap().1;
+        assert_eq!(
+            category_of(results[0].v_id),
+            Category::Sports,
+            "top match should be sports, got {:?}",
+            results
+        );
+    }
+
+    #[test]
+    fn index_prunes_but_no_index_is_exhaustive() {
+        let (engine, _) = populated_engine();
+        let g = generator();
+        let probe = g.generate(Category::Movie, 777).unwrap();
+        let frame = probe.frame(0).unwrap();
+        let with = engine.candidate_count(frame, true);
+        let without = engine.candidate_count(frame, false);
+        assert_eq!(without, engine.len());
+        assert!(with <= without);
+    }
+
+    #[test]
+    fn results_are_sorted_and_truncated() {
+        let (engine, _) = populated_engine();
+        let g = generator();
+        let probe = g.generate(Category::ELearning, 55).unwrap();
+        let results = engine.query_frame(
+            probe.frame(0).unwrap(),
+            &QueryOptions { k: 3, use_index: false, ..Default::default() },
+        );
+        assert_eq!(results.len(), 3);
+        for pair in results.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn video_query_finds_itself() {
+        let (engine, labels) = populated_engine();
+        // Re-generate the exact ingested clip and query with it: the same
+        // video must rank first with ~zero distance.
+        let g = generator();
+        let target = labels[0];
+        let video = g.generate(target.1, 0).unwrap();
+        let results =
+            engine.query_video(&video, &KeyframeConfig::default(), &QueryOptions::default());
+        assert_eq!(results[0].v_id, target.0, "{results:?}");
+        assert!(results[0].distance < 1e-6, "self distance {}", results[0].distance);
+    }
+
+    #[test]
+    fn metadata_query_matches_substrings() {
+        let (engine, _) = populated_engine();
+        let hits = engine.find_videos_by_name("SPORTS");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(_, name)| name.starts_with("sports")));
+        assert!(engine.find_videos_by_name("nope").is_empty());
+    }
+
+    #[test]
+    fn single_feature_weights_change_ranking_scores() {
+        let (engine, _) = populated_engine();
+        let e = engine.entry(1).clone();
+        let combined = engine.query_features(&e.features, e.range, &QueryOptions::default());
+        let histogram_only = engine.query_features(
+            &e.features,
+            e.range,
+            &QueryOptions {
+                weights: FeatureWeights::single(FeatureKind::ColorHistogram),
+                ..Default::default()
+            },
+        );
+        // Both rank the self-entry first...
+        assert_eq!(combined[0].i_id, e.i_id);
+        assert_eq!(histogram_only[0].i_id, e.i_id);
+        // ...but score the runner-up differently in general.
+        if combined.len() > 1 && histogram_only.len() > 1 {
+            let c = combined.iter().find(|m| m.i_id == histogram_only[1].i_id);
+            if let Some(c) = c {
+                // Scores come from different similarity mixtures.
+                assert!((c.score - histogram_only[1].score).abs() > 1e-12 || c.score == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_engine_behaviour() {
+        let engine = QueryEngine::from_catalog(Vec::new(), HashMap::new());
+        assert!(engine.is_empty());
+        let img = RgbImage::new(8, 8).unwrap();
+        assert!(engine.query_frame(&img, &QueryOptions::default()).is_empty());
+        assert!(engine.find_videos_by_name("x").is_empty());
+        assert!(engine
+            .query_feature_sequence(&[], &QueryOptions::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn incremental_add_matches_full_rebuild_results() {
+        let g = generator();
+        let mut db = cbvr_storage::CbvrDatabase::in_memory().unwrap();
+        let v1 = g.generate(Category::Sports, 1).unwrap();
+        ingest_video(&mut db, "one", &v1, &IngestConfig::default()).unwrap();
+        let mut engine = QueryEngine::from_database(&mut db).unwrap();
+
+        // Ingest a second video, then add it incrementally.
+        let v2 = g.generate(Category::Movie, 2).unwrap();
+        let report = ingest_video(&mut db, "two", &v2, &IngestConfig::default()).unwrap();
+        let mut fresh_entries = Vec::new();
+        for &i_id in &report.keyframe_ids {
+            let row = db.get_key_frame(i_id).unwrap();
+            let features = cbvr_features::FeatureSet::from_feature_strings([
+                (FeatureKind::ColorHistogram, row.sch.as_str()),
+                (FeatureKind::Glcm, row.glcm.as_str()),
+                (FeatureKind::Gabor, row.gabor.as_str()),
+                (FeatureKind::Tamura, row.tamura.as_str()),
+                (FeatureKind::Correlogram, row.acc.as_str()),
+                (FeatureKind::Naive, row.naive.as_str()),
+                (FeatureKind::Regions, row.srg.as_str()),
+            ])
+            .unwrap();
+            fresh_entries.push(CatalogEntry {
+                i_id,
+                v_id: row.v_id,
+                range: RangeKey::new(row.min, row.max),
+                features,
+            });
+        }
+        engine.add_video("two", fresh_entries);
+
+        let rebuilt = QueryEngine::from_database(&mut db).unwrap();
+        assert_eq!(engine.len(), rebuilt.len());
+        assert_eq!(engine.video_ids(), rebuilt.video_ids());
+        // Same ranking for a probe (scores may differ slightly through
+        // calibration, order of the top hit must agree).
+        let probe = g.generate(Category::Movie, 77).unwrap();
+        let a = engine.query_frame(probe.frame(0).unwrap(), &QueryOptions::default());
+        let b = rebuilt.query_frame(probe.frame(0).unwrap(), &QueryOptions::default());
+        assert_eq!(a[0].i_id, b[0].i_id);
+    }
+
+    #[test]
+    fn incremental_remove_excludes_video() {
+        let (engine, labels) = populated_engine();
+        let mut engine = QueryEngine::from_catalog(
+            (0..engine.len()).map(|i| engine.entry(i).clone()).collect(),
+            labels
+                .iter()
+                .map(|(v, c)| (*v, c.name().to_string()))
+                .collect(),
+        );
+        let victim = labels[0].0;
+        let removed = engine.remove_video(victim);
+        assert!(removed > 0);
+        assert!(!engine.video_ids().contains(&victim));
+        assert!(engine.video_name(victim).is_none());
+        assert_eq!(engine.index_stats().items, engine.len());
+        // Removing again is a no-op.
+        assert_eq!(engine.remove_video(victim), 0);
+        // Queries never return the removed video.
+        let g = generator();
+        let probe = g.generate(labels[0].1, 50).unwrap();
+        let results = engine.query_frame(
+            probe.frame(0).unwrap(),
+            &QueryOptions { k: 100, use_index: false, ..Default::default() },
+        );
+        assert!(results.iter().all(|m| m.v_id != victim));
+    }
+
+    #[test]
+    fn preprocessing_recovers_gamma_shifted_queries() {
+        let (engine, labels) = populated_engine();
+        let g = generator();
+        // A heavily darkened query (gamma 2.6): the raw histogram shifts
+        // far from the catalog; contrast stretching pulls it back.
+        let probe = g.generate(Category::ELearning, 321).unwrap();
+        let dark = cbvr_imgproc::enhance::gamma_rgb(probe.frame(0).unwrap(), 2.6);
+        let category_of = |v_id: u64| labels.iter().find(|(v, _)| *v == v_id).unwrap().1;
+
+        let raw = engine.query_frame(
+            &dark,
+            &QueryOptions { k: 5, use_index: false, ..Default::default() },
+        );
+        let stretched = engine.query_frame(
+            &dark,
+            &QueryOptions {
+                k: 5,
+                use_index: false,
+                preprocess: QueryPreprocess::StretchContrast,
+                ..Default::default()
+            },
+        );
+        let hits = |r: &[FrameMatch]| {
+            r.iter().filter(|m| category_of(m.v_id) == Category::ELearning).count()
+        };
+        assert!(
+            hits(&stretched) >= hits(&raw),
+            "stretching should not hurt: {} vs {}",
+            hits(&stretched),
+            hits(&raw)
+        );
+        // Equalisation also runs without panicking and returns results.
+        let eq = engine.query_frame(
+            &dark,
+            &QueryOptions { k: 5, preprocess: QueryPreprocess::Equalize, ..Default::default() },
+        );
+        assert!(!eq.is_empty());
+    }
+
+    #[test]
+    fn index_tree_renders() {
+        let (engine, _) = populated_engine();
+        let tree = engine.render_index_tree();
+        assert!(tree.contains("0-255 (root)"));
+        let stats = engine.index_stats();
+        assert_eq!(stats.items, engine.len());
+    }
+}

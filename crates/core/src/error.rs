@@ -1,0 +1,84 @@
+//! Error type for the CBVR system layer.
+
+use std::fmt;
+
+/// Errors produced by ingestion and querying.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Propagated storage-engine error.
+    Storage(cbvr_storage::StorageError),
+    /// Propagated feature error (extraction or feature-string parsing).
+    Feature(cbvr_features::FeatureError),
+    /// Propagated video container error.
+    Video(cbvr_video::VideoError),
+    /// Propagated image error.
+    Image(cbvr_imgproc::ImgError),
+    /// Inconsistent configuration or usage.
+    Config(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Feature(e) => write!(f, "feature: {e}"),
+            CoreError::Video(e) => write!(f, "video: {e}"),
+            CoreError::Image(e) => write!(f, "image: {e}"),
+            CoreError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Feature(e) => Some(e),
+            CoreError::Video(e) => Some(e),
+            CoreError::Image(e) => Some(e),
+            CoreError::Config(_) => None,
+        }
+    }
+}
+
+impl From<cbvr_storage::StorageError> for CoreError {
+    fn from(e: cbvr_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<cbvr_features::FeatureError> for CoreError {
+    fn from(e: cbvr_features::FeatureError) -> Self {
+        CoreError::Feature(e)
+    }
+}
+
+impl From<cbvr_video::VideoError> for CoreError {
+    fn from(e: cbvr_video::VideoError) -> Self {
+        CoreError::Video(e)
+    }
+}
+
+impl From<cbvr_imgproc::ImgError> for CoreError {
+    fn from(e: cbvr_imgproc::ImgError) -> Self {
+        CoreError::Image(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = cbvr_storage::StorageError::NotFound(3).into();
+        assert!(e.to_string().contains("3"));
+        let e: CoreError = cbvr_features::FeatureError::Parse("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        let e = CoreError::Config("weights sum to zero".into());
+        assert!(e.to_string().contains("weights"));
+    }
+}

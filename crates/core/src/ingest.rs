@@ -1,0 +1,279 @@
+//! The ingestion pipeline (Administrator's *add video*).
+//!
+//! decode → key frames (§4.1) → features (§4.3–§4.8, parallel) → range
+//! key (§4.2) → one atomic batch into `VIDEO_STORE` + `KEY_FRAMES`.
+//!
+//! Stored artifacts per video, mirroring the paper's schema:
+//!
+//! - `VIDEO`   — the full clip, VSC-encoded;
+//! - `STREAM`  — "stream of keyframes": the key frames alone as a 1 fps
+//!   VSC clip (what the UI pages through);
+//! - one `KEY_FRAMES` row per key frame: PPM image blob, `MIN`/`MAX`
+//!   range, and all seven feature strings.
+
+use crate::error::{CoreError, Result};
+use cbvr_features::FeatureSet;
+use cbvr_imgproc::codec::{encode, ImageFormat};
+use cbvr_imgproc::{Histogram256, RgbImage};
+use cbvr_index::{paper_range, RangeKey};
+use cbvr_keyframe::{extract_keyframes, Keyframe, KeyframeConfig};
+use cbvr_storage::backend::Backend;
+use cbvr_storage::{CbvrDatabase, KeyFrameRecord, VideoRecord};
+use cbvr_video::{encode_vsc, FrameCodec, Video};
+
+/// Ingestion parameters.
+#[derive(Clone, Debug)]
+pub struct IngestConfig {
+    /// Key-frame extraction parameters (threshold 800.0 by default).
+    pub keyframe: KeyframeConfig,
+    /// Frame codec for the stored VSC blobs.
+    pub frame_codec: FrameCodec,
+    /// Container for the stored key-frame images (`IMAGE` column).
+    /// `Ppm` is lossless; `Vjp` matches the paper's JPEG storage and
+    /// shrinks the blob several-fold. Features are extracted from the
+    /// *original* frame either way, so retrieval quality is unaffected.
+    pub image_format: ImageFormat,
+    /// Worker threads for feature extraction (1 = sequential).
+    pub threads: usize,
+    /// `DOSTORE` timestamp, epoch seconds (callers supply it; the library
+    /// takes no clock dependency).
+    pub timestamp: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            keyframe: KeyframeConfig::default(),
+            frame_codec: FrameCodec::Delta,
+            image_format: ImageFormat::Ppm,
+            threads: 4,
+            timestamp: 0,
+        }
+    }
+}
+
+/// What ingestion produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Assigned `VIDEO_STORE` primary key.
+    pub v_id: u64,
+    /// Assigned `KEY_FRAMES` primary keys, in frame order.
+    pub keyframe_ids: Vec<u64>,
+    /// Source-frame index of each key frame.
+    pub keyframe_indices: Vec<usize>,
+    /// Range-finder key of each key frame.
+    pub ranges: Vec<RangeKey>,
+}
+
+/// Extract all seven features for each frame, fanning out across
+/// `threads` workers (crossbeam scoped threads; order is preserved).
+pub fn extract_feature_sets_parallel(frames: &[&RgbImage], threads: usize) -> Vec<FeatureSet> {
+    let threads = threads.clamp(1, frames.len().max(1));
+    if threads <= 1 || frames.len() <= 1 {
+        return frames.iter().map(|f| FeatureSet::extract(f)).collect();
+    }
+    let mut out: Vec<Option<FeatureSet>> = vec![None; frames.len()];
+    let chunk = frames.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (frame_chunk, out_chunk) in frames.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (frame, slot) in frame_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(FeatureSet::extract(frame));
+                }
+            });
+        }
+    })
+    .expect("feature extraction worker panicked");
+    out.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// Ingest one video under `name`. The whole operation is one atomic
+/// batch: a failure leaves the database exactly as it was.
+pub fn ingest_video<B: Backend>(
+    db: &mut CbvrDatabase<B>,
+    name: &str,
+    video: &Video,
+    config: &IngestConfig,
+) -> Result<IngestReport> {
+    if name.is_empty() {
+        return Err(CoreError::Config("video name must not be empty".into()));
+    }
+    // 1. Key frames.
+    let keyframes: Vec<Keyframe> = extract_keyframes(video, &config.keyframe);
+
+    // 2. Features, fanned out.
+    let frames: Vec<&RgbImage> = keyframes.iter().map(|k| &k.frame).collect();
+    let features = extract_feature_sets_parallel(&frames, config.threads);
+
+    // 3. Range keys from the luminance histogram (§4.2).
+    let ranges: Vec<RangeKey> = keyframes
+        .iter()
+        .map(|k| paper_range(&Histogram256::of_rgb_luma(&k.frame)))
+        .collect();
+
+    // 4. Blobs.
+    let video_bytes = encode_vsc(video, config.frame_codec);
+    let stream_frames: Vec<RgbImage> = keyframes.iter().map(|k| k.frame.clone()).collect();
+    let stream_bytes = encode_vsc(
+        &Video::new(1, stream_frames).map_err(CoreError::Video)?,
+        config.frame_codec,
+    );
+
+    // 5. One atomic batch.
+    let timestamp = config.timestamp;
+    let report = db.run_batch(|db| {
+        let v_id = db.insert_video(&VideoRecord {
+            v_name: name.to_string(),
+            video: video_bytes.clone(),
+            stream: stream_bytes.clone(),
+            dostore: timestamp,
+        })?;
+        let mut keyframe_ids = Vec::with_capacity(keyframes.len());
+        for ((kf, set), range) in keyframes.iter().zip(&features).zip(&ranges) {
+            let record = KeyFrameRecord {
+                i_name: format!("v{v_id}_kf_{:05}", kf.index),
+                image: encode(&kf.frame, config.image_format),
+                min: range.min,
+                max: range.max,
+                sch: set.histogram.to_feature_string(),
+                glcm: set.glcm.to_feature_string(),
+                gabor: set.gabor.to_feature_string(),
+                tamura: set.tamura.to_feature_string(),
+                acc: set.correlogram.to_feature_string(),
+                naive: set.naive.to_feature_string(),
+                srg: set.regions.to_feature_string(),
+                majorregions: set.regions.major_regions,
+                v_id,
+            };
+            keyframe_ids.push(db.insert_key_frame(&record)?);
+        }
+        Ok((v_id, keyframe_ids))
+    })?;
+
+    Ok(IngestReport {
+        v_id: report.0,
+        keyframe_ids: report.1,
+        keyframe_indices: keyframes.iter().map(|k| k.index).collect(),
+        ranges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_video::{Category, GeneratorConfig, VideoGenerator};
+
+    fn small_clip(seed: u64) -> Video {
+        let config = GeneratorConfig {
+            width: 64,
+            height: 48,
+            shots_per_video: 2,
+            min_shot_frames: 4,
+            max_shot_frames: 6,
+            ..GeneratorConfig::default()
+        };
+        VideoGenerator::new(config).unwrap().generate(Category::Cartoon, seed).unwrap()
+    }
+
+    #[test]
+    fn ingest_stores_video_and_keyframes() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let video = small_clip(1);
+        let report = ingest_video(&mut db, "cartoon_01", &video, &IngestConfig::default()).unwrap();
+        assert!(!report.keyframe_ids.is_empty());
+        assert_eq!(report.keyframe_ids.len(), report.ranges.len());
+        assert_eq!(report.keyframe_ids.len(), report.keyframe_indices.len());
+
+        // The video round-trips.
+        let full = db.get_video(report.v_id).unwrap();
+        assert_eq!(full.v_name, "cartoon_01");
+        let bytes = db.read_video_bytes(&full.row).unwrap();
+        let decoded = cbvr_video::decode_vsc(&bytes).unwrap();
+        assert_eq!(decoded, video);
+
+        // The key-frame stream decodes to the key frames.
+        let stream = db.read_stream_bytes(&full.row).unwrap();
+        let stream_video = cbvr_video::decode_vsc(&stream).unwrap();
+        assert_eq!(stream_video.frame_count(), report.keyframe_ids.len());
+
+        // Rows carry parseable feature strings and matching ranges.
+        let row = db.get_key_frame(report.keyframe_ids[0]).unwrap();
+        assert_eq!(row.v_id, report.v_id);
+        assert_eq!(row.min, report.ranges[0].min);
+        assert_eq!(row.max, report.ranges[0].max);
+        assert!(cbvr_features::histogram::ColorHistogram::parse(&row.sch).is_ok());
+        assert!(cbvr_features::glcm::GlcmTexture::parse(&row.glcm).is_ok());
+        assert!(cbvr_features::gabor::GaborTexture::parse(&row.gabor).is_ok());
+        assert!(cbvr_features::tamura::TamuraTexture::parse(&row.tamura).is_ok());
+        assert!(cbvr_features::correlogram::AutoColorCorrelogram::parse(&row.acc).is_ok());
+        assert!(cbvr_features::naive::NaiveSignature::parse(&row.naive).is_ok());
+        assert!(cbvr_features::region::RegionGrowing::parse(&row.srg).is_ok());
+
+        // The stored image decodes to the exact key frame.
+        let image_bytes = db.read_image_bytes(&row).unwrap();
+        let img = cbvr_imgproc::decode_auto(&image_bytes).unwrap();
+        assert_eq!(&img, video.frame(report.keyframe_indices[0]).unwrap());
+    }
+
+    #[test]
+    fn empty_name_rejected_without_side_effects() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let video = small_clip(2);
+        assert!(ingest_video(&mut db, "", &video, &IngestConfig::default()).is_err());
+        assert_eq!(db.video_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn parallel_extraction_matches_sequential() {
+        let video = small_clip(3);
+        let frames: Vec<&RgbImage> = video.frames().iter().take(4).collect();
+        let seq = extract_feature_sets_parallel(&frames, 1);
+        let par = extract_feature_sets_parallel(&frames, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_extraction_empty_input() {
+        assert!(extract_feature_sets_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn vjp_image_storage_shrinks_blobs_and_still_decodes() {
+        let video = small_clip(5);
+        let mut db_ppm = CbvrDatabase::in_memory().unwrap();
+        let mut db_vjp = CbvrDatabase::in_memory().unwrap();
+        let ppm_cfg = IngestConfig::default();
+        let vjp_cfg = IngestConfig { image_format: ImageFormat::Vjp, ..IngestConfig::default() };
+        let r1 = ingest_video(&mut db_ppm, "v", &video, &ppm_cfg).unwrap();
+        let r2 = ingest_video(&mut db_vjp, "v", &video, &vjp_cfg).unwrap();
+        assert_eq!(r1.keyframe_ids.len(), r2.keyframe_ids.len());
+        let row_ppm = db_ppm.get_key_frame(r1.keyframe_ids[0]).unwrap();
+        let row_vjp = db_vjp.get_key_frame(r2.keyframe_ids[0]).unwrap();
+        // Cartoon frames (hard edges) are DCT's worst case; still expect a
+        // solid saving over raw PPM.
+        assert!(
+            row_vjp.image.len * 3 < row_ppm.image.len * 2,
+            "VJP {} should be well below PPM {}",
+            row_vjp.image.len,
+            row_ppm.image.len
+        );
+        // Lossy image decodes and has the right dimensions.
+        let bytes = db_vjp.read_image_bytes(&row_vjp).unwrap();
+        let img = cbvr_imgproc::decode_auto(&bytes).unwrap();
+        assert_eq!(img.dimensions(), (video.width(), video.height()));
+        // Feature strings are identical: extraction used the original.
+        assert_eq!(row_ppm.sch, row_vjp.sch);
+        assert_eq!(row_ppm.gabor, row_vjp.gabor);
+    }
+
+    #[test]
+    fn two_videos_get_distinct_ids() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let a = ingest_video(&mut db, "a", &small_clip(1), &IngestConfig::default()).unwrap();
+        let b = ingest_video(&mut db, "b", &small_clip(2), &IngestConfig::default()).unwrap();
+        assert_ne!(a.v_id, b.v_id);
+        assert_eq!(db.video_count().unwrap(), 2);
+        let kf_a = db.key_frames_of_video(a.v_id).unwrap();
+        assert_eq!(kf_a, a.keyframe_ids);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cbvr-core — the content-based video retrieval system
+//!
+//! Ties the substrates into the system of §2–§3: a video database with an
+//! Administrator role (add / update / delete videos) and a User role
+//! (query by example frame, by example clip, or by metadata).
+//!
+//! - [`ingest`] — the ingestion pipeline: encode and store the video,
+//!   extract key frames (§4.1), extract all seven features per key frame
+//!   (§4.3–§4.8, in parallel across worker threads), assign the
+//!   range-finder index key (§4.2) and persist everything into the
+//!   `VIDEO_STORE` / `KEY_FRAMES` tables;
+//! - [`engine`] — the query engine: loads the feature catalog, prunes
+//!   candidates through the range index, ranks by a single feature or by
+//!   the paper's *combined* weighted multi-feature score, and ranks whole
+//!   clips with the dynamic-programming sequence similarity the paper
+//!   sketches in §1 ("We use a dynamic programming approach to compute
+//!   the similarity between the feature vectors for the query and feature
+//!   vectors in the feature database");
+//! - [`dtw`] — that dynamic-programming kernel (dynamic time warping
+//!   over key-frame feature sequences);
+//! - [`score`] — distance→similarity calibration so heterogeneous
+//!   feature distances combine on a common scale;
+//! - [`weights`] — per-feature weights for the combined ranking.
+#![warn(missing_docs)]
+
+
+pub mod dtw;
+pub mod engine;
+pub mod feedback;
+pub mod error;
+pub mod ingest;
+pub mod score;
+pub mod weights;
+
+pub use engine::{FrameMatch, QueryEngine, QueryOptions, QueryPreprocess, VideoMatch};
+pub use feedback::adapt_weights;
+pub use error::{CoreError, Result};
+pub use ingest::{ingest_video, IngestConfig, IngestReport};
+pub use weights::FeatureWeights;
+
+// Re-exports of the substrate types the public API surfaces.
+pub use cbvr_keyframe::KeyframeConfig;
+pub use cbvr_video::FrameCodec;

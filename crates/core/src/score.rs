@@ -1,0 +1,167 @@
+//! Distance → similarity calibration.
+//!
+//! The seven native distances live on very different scales (GLCM's
+//! normalised-statistics L2 tops out near √5, the naive signature is
+//! already in `[0, 1]`, Gabor's L2 is unbounded). To combine them the
+//! engine calibrates one scale per feature at build time: the median of
+//! sampled catalog pairwise distances. A distance then maps to
+//!
+//! ```text
+//! similarity(d) = 1 / (1 + d / median)
+//! ```
+//!
+//! which sends `d = 0 → 1`, `d = median → 0.5`, and decays smoothly —
+//! every feature's "typical" dissimilarity lands at the same 0.5, so no
+//! feature dominates the weighted sum by unit choice alone.
+
+use cbvr_features::{FeatureKind, FeatureSet};
+use serde::{Deserialize, Serialize};
+
+/// Per-feature distance scales (medians of sampled pairs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoreCalibration {
+    scales: Vec<(FeatureKind, f64)>,
+}
+
+impl Default for ScoreCalibration {
+    /// Unit scales — usable, but [`ScoreCalibration::from_catalog`] is
+    /// strictly better once data exists.
+    fn default() -> Self {
+        ScoreCalibration { scales: FeatureKind::ALL.iter().map(|&k| (k, 1.0)).collect() }
+    }
+}
+
+/// Number of catalog pairs sampled per feature during calibration.
+pub const CALIBRATION_PAIRS: usize = 256;
+
+impl ScoreCalibration {
+    /// Calibrate from a feature catalog: per kind, the median distance
+    /// over a deterministic sample of pairs. Degenerate cases (fewer than
+    /// two sets, all-zero distances) keep scale 1.
+    pub fn from_catalog(sets: &[&FeatureSet]) -> ScoreCalibration {
+        let mut scales = Vec::with_capacity(FeatureKind::ALL.len());
+        for &kind in &FeatureKind::ALL {
+            let scale = if sets.len() < 2 {
+                1.0
+            } else {
+                let mut distances = Vec::with_capacity(CALIBRATION_PAIRS);
+                // Deterministic stride-based pair sample.
+                let n = sets.len();
+                let mut state = 0x51ED_2701_9CC5_B3A7u64 ^ (kind as u64).wrapping_mul(0x9E37);
+                for _ in 0..CALIBRATION_PAIRS {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let i = (state % n as u64) as usize;
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let j = (state % n as u64) as usize;
+                    if i != j {
+                        distances.push(sets[i].distance(sets[j], kind));
+                    }
+                }
+                median_positive(&mut distances).unwrap_or(1.0)
+            };
+            scales.push((kind, scale));
+        }
+        ScoreCalibration { scales }
+    }
+
+    /// The scale for a kind.
+    pub fn scale(&self, kind: FeatureKind) -> f64 {
+        self.scales.iter().find(|(k, _)| *k == kind).map_or(1.0, |(_, s)| *s)
+    }
+
+    /// Map a native distance to a similarity in `(0, 1]`.
+    pub fn similarity(&self, kind: FeatureKind, distance: f64) -> f64 {
+        let scale = self.scale(kind);
+        if distance <= 0.0 {
+            return 1.0;
+        }
+        1.0 / (1.0 + distance / scale)
+    }
+}
+
+/// Median of the strictly-positive entries; `None` when there are none.
+fn median_positive(values: &mut Vec<f64>) -> Option<f64> {
+    values.retain(|v| *v > 0.0 && v.is_finite());
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Some(values[values.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_imgproc::{Rgb, RgbImage};
+
+    fn set(seed: u8) -> FeatureSet {
+        let img = RgbImage::from_fn(24, 24, |x, y| {
+            Rgb::new(
+                (x * 10).wrapping_add(seed as u32 * 31) as u8,
+                (y * 10) as u8,
+                seed.wrapping_mul(7),
+            )
+        })
+        .unwrap();
+        FeatureSet::extract(&img)
+    }
+
+    #[test]
+    fn zero_distance_is_perfect_similarity() {
+        let cal = ScoreCalibration::default();
+        for k in FeatureKind::ALL {
+            assert_eq!(cal.similarity(k, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn similarity_decreases_with_distance() {
+        let cal = ScoreCalibration::default();
+        let k = FeatureKind::Gabor;
+        assert!(cal.similarity(k, 0.1) > cal.similarity(k, 1.0));
+        assert!(cal.similarity(k, 1.0) > cal.similarity(k, 10.0));
+        assert!(cal.similarity(k, 1e12) > 0.0, "never exactly zero");
+    }
+
+    #[test]
+    fn median_distance_maps_to_half() {
+        let sets: Vec<FeatureSet> = (0..10).map(set).collect();
+        let refs: Vec<&FeatureSet> = sets.iter().collect();
+        let cal = ScoreCalibration::from_catalog(&refs);
+        for k in FeatureKind::ALL {
+            let m = cal.scale(k);
+            assert!((cal.similarity(k, m) - 0.5).abs() < 1e-12, "{k}");
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let sets: Vec<FeatureSet> = (0..8).map(set).collect();
+        let refs: Vec<&FeatureSet> = sets.iter().collect();
+        assert_eq!(ScoreCalibration::from_catalog(&refs), ScoreCalibration::from_catalog(&refs));
+    }
+
+    #[test]
+    fn degenerate_catalogs_fall_back_to_unit_scale() {
+        let cal = ScoreCalibration::from_catalog(&[]);
+        assert_eq!(cal.scale(FeatureKind::Glcm), 1.0);
+        let one = set(0);
+        let cal = ScoreCalibration::from_catalog(&[&one]);
+        assert_eq!(cal.scale(FeatureKind::Glcm), 1.0);
+        // Identical sets → all distances zero → unit scale.
+        let cal = ScoreCalibration::from_catalog(&[&one, &one, &one]);
+        assert_eq!(cal.scale(FeatureKind::Naive), 1.0);
+    }
+
+    #[test]
+    fn median_positive_behaviour() {
+        assert_eq!(median_positive(&mut vec![]), None);
+        assert_eq!(median_positive(&mut vec![0.0, -1.0]), None);
+        assert_eq!(median_positive(&mut vec![3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median_positive(&mut vec![1.0, f64::INFINITY]), Some(1.0));
+    }
+}

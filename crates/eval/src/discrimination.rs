@@ -1,0 +1,183 @@
+//! The discrimination experiment.
+//!
+//! The abstract conjectures that multiple features are "more effective in
+//! the **discrimination** and search tasks of videos". Table 1 measures
+//! search; this module measures discrimination directly: classify each
+//! held-out query frame by the category of its nearest catalog key frame
+//! (1-NN under a method's similarity) and report per-method accuracy and
+//! the combined method's confusion matrix.
+
+use crate::corpus::Corpus;
+use cbvr_core::engine::QueryOptions;
+use cbvr_core::{FeatureWeights, Result};
+use cbvr_features::FeatureKind;
+use cbvr_video::Category;
+use serde::{Deserialize, Serialize};
+
+/// Experiment output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DiscriminationReport {
+    /// `(method, accuracy)` pairs, Table 1 method order.
+    pub accuracy: Vec<(String, f64)>,
+    /// Confusion counts for the combined method:
+    /// `confusion[truth][predicted]`, categories in [`Category::ALL`] order.
+    pub confusion: [[u32; 5]; 5],
+    /// Total queries classified.
+    pub queries: usize,
+}
+
+fn category_index(c: Category) -> usize {
+    Category::ALL.iter().position(|&x| x == c).expect("category in ALL")
+}
+
+/// Run 1-NN category classification over held-out query frames.
+pub fn run_discrimination(
+    corpus: &Corpus,
+    queries_per_category: u32,
+    frames_per_query: usize,
+) -> Result<DiscriminationReport> {
+    let query_videos = corpus.query_videos(queries_per_category)?;
+    let mut queries = Vec::new();
+    for (category, video) in &query_videos {
+        let n = video.frame_count();
+        let samples = frames_per_query.max(1).min(n);
+        for s in 0..samples {
+            let idx = s * n / samples;
+            // Same degradation protocol as the Table 1 experiment.
+            let frame = crate::table1::degrade_query(
+                video.frame(idx).expect("in range"),
+                ((idx as u64) << 8) | *category as u64,
+            );
+            queries.push((*category, frame));
+        }
+    }
+
+    let methods: Vec<(String, FeatureWeights)> = vec![
+        ("GLCM".into(), FeatureWeights::single(FeatureKind::Glcm)),
+        ("Gabor".into(), FeatureWeights::single(FeatureKind::Gabor)),
+        ("Tamura".into(), FeatureWeights::single(FeatureKind::Tamura)),
+        ("Histogram".into(), FeatureWeights::single(FeatureKind::ColorHistogram)),
+        ("Autocorrelogram".into(), FeatureWeights::single(FeatureKind::Correlogram)),
+        ("Simple Region Growing".into(), FeatureWeights::single(FeatureKind::Regions)),
+        ("Combined".into(), FeatureWeights::default()),
+    ];
+
+    let mut accuracy = Vec::with_capacity(methods.len());
+    let mut confusion = [[0u32; 5]; 5];
+    for (name, weights) in methods {
+        let mut correct = 0usize;
+        for (truth, frame) in &queries {
+            let options = QueryOptions {
+                k: 1,
+                weights: weights.clone(),
+                use_index: false,
+                ..Default::default()
+            };
+            let results = corpus.engine.query_frame(frame, &options);
+            let Some(top) = results.first() else { continue };
+            let predicted = corpus.category_of(top.v_id);
+            if predicted == *truth {
+                correct += 1;
+            }
+            if name == "Combined" {
+                confusion[category_index(*truth)][category_index(predicted)] += 1;
+            }
+        }
+        accuracy.push((name, correct as f64 / queries.len().max(1) as f64));
+    }
+
+    Ok(DiscriminationReport { accuracy, confusion, queries: queries.len() })
+}
+
+impl DiscriminationReport {
+    /// Render as text: accuracy table plus the combined confusion matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Discrimination — 1-NN category accuracy per method\n\n");
+        for (method, acc) in &self.accuracy {
+            out.push_str(&format!("{method:<24} {acc:>7.3}\n"));
+        }
+        out.push_str("\nCombined confusion matrix (rows = truth, cols = predicted):\n");
+        out.push_str(&format!("{:<11}", ""));
+        for c in Category::ALL {
+            out.push_str(&format!("{:>10}", c.name()));
+        }
+        out.push('\n');
+        for (i, c) in Category::ALL.iter().enumerate() {
+            out.push_str(&format!("{:<11}", c.name()));
+            for j in 0..5 {
+                out.push_str(&format!("{:>10}", self.confusion[i][j]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The combined method's accuracy.
+    pub fn combined_accuracy(&self) -> f64 {
+        self.accuracy.last().map(|(_, a)| *a).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+    use cbvr_video::GeneratorConfig;
+
+    fn tiny_corpus() -> Corpus {
+        Corpus::build(CorpusConfig {
+            videos_per_category: 2,
+            generator: GeneratorConfig {
+                width: 48,
+                height: 36,
+                shots_per_video: 2,
+                min_shot_frames: 4,
+                max_shot_frames: 6,
+                ..GeneratorConfig::default()
+            },
+            ..CorpusConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn combined_discriminates_above_chance() {
+        let corpus = tiny_corpus();
+        let report = run_discrimination(&corpus, 1, 1).unwrap();
+        assert_eq!(report.queries, 5);
+        assert_eq!(report.accuracy.len(), 7);
+        // Chance is 0.2 across 5 balanced categories.
+        assert!(
+            report.combined_accuracy() > 0.5,
+            "combined accuracy {} should beat chance",
+            report.combined_accuracy()
+        );
+        for (_, a) in &report.accuracy {
+            assert!((0.0..=1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn confusion_rows_sum_to_query_counts() {
+        let corpus = tiny_corpus();
+        let report = run_discrimination(&corpus, 1, 2).unwrap();
+        let per_category = report.queries / 5;
+        for (i, row) in report.confusion.iter().enumerate() {
+            let sum: u32 = row.iter().sum();
+            assert_eq!(sum as usize, per_category, "row {i}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn render_contains_all_methods_and_categories() {
+        let corpus = tiny_corpus();
+        let report = run_discrimination(&corpus, 1, 1).unwrap();
+        let text = report.render();
+        for m in crate::reference::METHODS {
+            assert!(text.contains(m), "{text}");
+        }
+        for c in Category::ALL {
+            assert!(text.contains(c.name()), "{text}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! The user-study simulator.
+//!
+//! §5: "a user study measured correctness of response". Human judges are
+//! noisy: they occasionally mark an irrelevant frame relevant and vice
+//! versa. [`NoisyJudge`] wraps ground truth with a symmetric error rate,
+//! so experiments can report both oracle precision (error 0) and
+//! user-study-flavoured precision.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A relevance judge with a symmetric misjudgement probability.
+pub struct NoisyJudge {
+    error_rate: f64,
+    rng: SmallRng,
+}
+
+impl NoisyJudge {
+    /// Build a judge. `error_rate` is clamped to `[0, 0.5]` (a judge
+    /// wrong more than half the time is an adversary, not a judge).
+    pub fn new(error_rate: f64, seed: u64) -> NoisyJudge {
+        NoisyJudge { error_rate: error_rate.clamp(0.0, 0.5), rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// An oracle: never wrong.
+    pub fn oracle() -> NoisyJudge {
+        NoisyJudge::new(0.0, 0)
+    }
+
+    /// The configured error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// Judge one item: the ground truth, possibly flipped.
+    pub fn judge(&mut self, ground_truth: bool) -> bool {
+        if self.error_rate > 0.0 && self.rng.gen_bool(self.error_rate) {
+            !ground_truth
+        } else {
+            ground_truth
+        }
+    }
+
+    /// Judge a ranked list.
+    pub fn judge_all(&mut self, ground_truth: &[bool]) -> Vec<bool> {
+        ground_truth.iter().map(|&g| self.judge(g)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_never_flips() {
+        let mut judge = NoisyJudge::oracle();
+        let truth = vec![true, false, true, true, false];
+        assert_eq!(judge.judge_all(&truth), truth);
+    }
+
+    #[test]
+    fn error_rate_is_clamped() {
+        assert_eq!(NoisyJudge::new(0.9, 0).error_rate(), 0.5);
+        assert_eq!(NoisyJudge::new(-0.1, 0).error_rate(), 0.0);
+    }
+
+    #[test]
+    fn flip_rate_approximates_error_rate() {
+        let mut judge = NoisyJudge::new(0.2, 42);
+        let truth = vec![true; 10_000];
+        let judged = judge.judge_all(&truth);
+        let flips = judged.iter().filter(|&&j| !j).count();
+        let rate = flips as f64 / truth.len() as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn judgement_is_seeded() {
+        let truth = [true, false]; // pattern to flip
+        let a = NoisyJudge::new(0.3, 7).judge_all(&truth.repeat(100));
+        let b = NoisyJudge::new(0.3, 7).judge_all(&truth.repeat(100));
+        assert_eq!(a, b);
+        let c = NoisyJudge::new(0.3, 8).judge_all(&truth.repeat(100));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,33 @@
+//! # cbvr-eval — evaluation harness
+//!
+//! Reproduces §5's evaluation: a labelled corpus (categories as ground
+//! truth, exactly the relevance judgement of the paper's user study),
+//! precision@k metrics, a noisy-judge model for the human element, and
+//! the Table 1 experiment driver.
+//!
+//! - [`corpus`] — builds reproducible labelled corpora of synthetic
+//!   clips and their key-frame feature catalogs;
+//! - [`metrics`] — precision@k, recall@k, average precision;
+//! - [`judge`] — the user-study simulator: a judge that misjudges
+//!   relevance with configurable probability;
+//! - [`table1`] — the Table 1 driver: average precision at 20/30/50/100
+//!   retrieved frames for each single feature and the combined method;
+//! - [`mod@reference`] — the paper's published numbers and the qualitative
+//!   shape checks (combined wins everywhere, precision decays with k);
+//! - [`discrimination`] — the abstract's *discrimination* task: 1-NN
+//!   category classification accuracy and confusion matrix.
+#![warn(missing_docs)]
+
+
+pub mod corpus;
+pub mod discrimination;
+pub mod judge;
+pub mod metrics;
+pub mod reference;
+pub mod table1;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use discrimination::{run_discrimination, DiscriminationReport};
+pub use judge::NoisyJudge;
+pub use metrics::{average_precision, precision_at_k, recall_at_k};
+pub use table1::{run_table1, Table1Config, Table1Report, Table1Row};

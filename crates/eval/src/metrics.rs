@@ -1,0 +1,104 @@
+//! Retrieval metrics.
+//!
+//! The paper reports "average precision values at the top 20, 30, 50, and
+//! 100 retrieved video \[frames\]" — [`precision_at_k`] over ranked result
+//! lists, averaged across queries by the caller.
+
+/// Precision at `k`: the fraction of the first `k` ranked items that are
+/// relevant. When fewer than `k` results exist the paper's convention
+/// (and ours) still divides by `k` — an empty tail counts as misses.
+/// `k = 0` is defined as 0.
+pub fn precision_at_k(ranked_relevance: &[bool], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked_relevance.iter().take(k).filter(|&&r| r).count();
+    hits as f64 / k as f64
+}
+
+/// Recall at `k`: relevant items in the first `k` over all relevant items
+/// (`total_relevant`). 0 when nothing is relevant.
+pub fn recall_at_k(ranked_relevance: &[bool], k: usize, total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let hits = ranked_relevance.iter().take(k).filter(|&&r| r).count();
+    hits as f64 / total_relevant as f64
+}
+
+/// Average precision: the mean of precision@rank over the ranks of
+/// relevant items, normalised by `total_relevant`. 0 when nothing is
+/// relevant.
+pub fn average_precision(ranked_relevance: &[bool], total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (rank, &rel) in ranked_relevance.iter().enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basics() {
+        let r = [true, false, true, true, false];
+        assert_eq!(precision_at_k(&r, 1), 1.0);
+        assert_eq!(precision_at_k(&r, 2), 0.5);
+        assert_eq!(precision_at_k(&r, 5), 3.0 / 5.0);
+        assert_eq!(precision_at_k(&r, 0), 0.0);
+    }
+
+    #[test]
+    fn precision_short_list_counts_missing_as_misses() {
+        let r = [true, true];
+        assert_eq!(precision_at_k(&r, 4), 0.5);
+    }
+
+    #[test]
+    fn recall_basics() {
+        let r = [true, false, true];
+        assert_eq!(recall_at_k(&r, 1, 4), 0.25);
+        assert_eq!(recall_at_k(&r, 3, 4), 0.5);
+        assert_eq!(recall_at_k(&r, 3, 0), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        assert_eq!(average_precision(&[true, true, false, false], 2), 1.0);
+        // Both relevant items at the end of 4.
+        let ap = average_precision(&[false, false, true, true], 2);
+        assert!((ap - (1.0 / 3.0 + 2.0 / 4.0) / 2.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[false, false], 0), 0.0);
+    }
+
+    #[test]
+    fn ap_penalises_unretrieved_relevant() {
+        // One of two relevant items never retrieved.
+        let ap = average_precision(&[true, false], 2);
+        assert!((ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_behaviour() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's published Table 1 and the qualitative shape checks.
+//!
+//! Absolute numbers are not expected to match (different corpus, judges
+//! and scale — see EXPERIMENTS.md); the *shape* is what the reproduction
+//! must preserve: the combined method wins at every cutoff and its
+//! precision decays as the cutoff grows. Single-feature orderings are
+//! reported as informational checks because they are corpus-dependent.
+
+use serde::{Deserialize, Serialize};
+
+/// The methods of Table 1, in column order.
+pub const METHODS: [&str; 7] =
+    ["GLCM", "Gabor", "Tamura", "Histogram", "Autocorrelogram", "Simple Region Growing", "Combined"];
+
+/// The cutoffs of Table 1.
+pub const CUTOFFS: [usize; 4] = [20, 30, 50, 100];
+
+/// Paper Table 1: average precision per method (rows follow [`METHODS`])
+/// at 20/30/50/100 frames.
+pub const PAPER_TABLE1: [[f64; 4]; 7] = [
+    [0.435, 0.423, 0.410, 0.354], // GLCM
+    [0.586, 0.528, 0.489, 0.396], // Gabor
+    [0.568, 0.514, 0.469, 0.412], // Tamura
+    [0.398, 0.368, 0.324, 0.310], // Histogram
+    [0.412, 0.405, 0.369, 0.342], // Autocorrelogram
+    [0.520, 0.468, 0.434, 0.397], // Simple Region Growing
+    [0.629, 0.553, 0.494, 0.421], // Combined
+];
+
+/// One measured method row (precision at each [`CUTOFFS`] entry).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MethodPrecision {
+    /// Method name (one of [`METHODS`]).
+    pub method: String,
+    /// Precision at 20/30/50/100.
+    pub precision: [f64; 4],
+}
+
+/// Shape checks over a measured table.
+///
+/// Two tiers. **Required** checks are the paper's central findings and
+/// must reproduce; **informational** checks record single-feature
+/// orderings that §5 observed on archive.org footage but that are
+/// corpus-dependent (on the synthetic corpus, color statistics are
+/// procedurally category-coded, so color features outperform texture —
+/// see EXPERIMENTS.md).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShapeCheck {
+    /// REQUIRED: "our combined approach outperforms all the other
+    /// methods" at every cutoff.
+    pub combined_wins_everywhere: bool,
+    /// REQUIRED: the combined method's precision decreases (weakly) as
+    /// the cutoff grows.
+    pub combined_decays_with_k: bool,
+    /// Informational: how many of the 7 methods decay (weakly) with k.
+    /// Weak features on a small corpus legitimately peak mid-list.
+    pub methods_decaying: usize,
+    /// Informational: the best texture feature beats the plain histogram
+    /// at k = 20 (holds on the paper's footage, not on color-coded
+    /// synthetic styles).
+    pub texture_beats_histogram: bool,
+}
+
+fn decays(p: &[f64; 4]) -> bool {
+    p.windows(2).all(|w| w[1] <= w[0] + 0.05) // small tolerance for query noise
+}
+
+impl ShapeCheck {
+    /// Evaluate the checks over measured rows (order must follow
+    /// [`METHODS`], combined last).
+    pub fn evaluate(rows: &[MethodPrecision]) -> ShapeCheck {
+        let combined = rows.iter().find(|r| r.method == "Combined");
+        let singles: Vec<&MethodPrecision> =
+            rows.iter().filter(|r| r.method != "Combined").collect();
+
+        // 0.005 absolute tolerance: measured precisions are means over a
+        // few dozen queries, so sub-half-percent differences are ties.
+        let combined_wins_everywhere = match combined {
+            None => false,
+            Some(c) => (0..4).all(|i| {
+                singles.iter().all(|s| c.precision[i] >= s.precision[i] - 5e-3)
+            }),
+        };
+
+        let combined_decays_with_k = combined.is_some_and(|c| decays(&c.precision));
+        let methods_decaying = rows.iter().filter(|r| decays(&r.precision)).count();
+
+        let texture = ["Gabor", "Tamura"]
+            .iter()
+            .filter_map(|name| rows.iter().find(|r| r.method == *name))
+            .map(|r| r.precision[0])
+            .fold(0.0f64, f64::max);
+        let histogram = rows
+            .iter()
+            .find(|r| r.method == "Histogram")
+            .map(|r| r.precision[0])
+            .unwrap_or(1.0);
+        let texture_beats_histogram = texture >= histogram;
+
+        ShapeCheck {
+            combined_wins_everywhere,
+            combined_decays_with_k,
+            methods_decaying,
+            texture_beats_histogram,
+        }
+    }
+
+    /// The required checks pass.
+    pub fn all_pass(&self) -> bool {
+        self.combined_wins_everywhere && self.combined_decays_with_k
+    }
+}
+
+/// The paper's own Table 1 as measured rows (for printing side by side).
+pub fn paper_rows() -> Vec<MethodPrecision> {
+    METHODS
+        .iter()
+        .zip(PAPER_TABLE1.iter())
+        .map(|(m, p)| MethodPrecision { method: m.to_string(), precision: *p })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_satisfies_its_own_shape() {
+        let rows = paper_rows();
+        let shape = ShapeCheck::evaluate(&rows);
+        assert!(shape.combined_wins_everywhere, "{shape:?}");
+        assert!(shape.combined_decays_with_k, "{shape:?}");
+        assert_eq!(shape.methods_decaying, 7, "{shape:?}");
+        assert!(shape.texture_beats_histogram, "{shape:?}");
+        assert!(shape.all_pass());
+    }
+
+    #[test]
+    fn shape_detects_violations() {
+        let mut rows = paper_rows();
+        // Inflate the histogram above the combined method at k=20.
+        rows[3].precision[0] = 0.9;
+        let shape = ShapeCheck::evaluate(&rows);
+        assert!(!shape.combined_wins_everywhere);
+        assert!(!shape.texture_beats_histogram);
+    }
+
+    #[test]
+    fn shape_detects_nonmonotone_precision() {
+        let mut rows = paper_rows();
+        rows[6].precision = [0.2, 0.5, 0.2, 0.2]; // Combined row
+        let shape = ShapeCheck::evaluate(&rows);
+        assert!(!shape.combined_decays_with_k);
+        assert_eq!(shape.methods_decaying, 6);
+    }
+
+    #[test]
+    fn missing_combined_fails() {
+        let rows: Vec<MethodPrecision> = paper_rows().into_iter().take(6).collect();
+        assert!(!ShapeCheck::evaluate(&rows).combined_wins_everywhere);
+    }
+}

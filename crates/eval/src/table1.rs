@@ -1,0 +1,369 @@
+//! The Table 1 experiment driver.
+//!
+//! "Table \[1\] presents the average precision values at the top 20, 30, 50,
+//! and 100 retrieved video \[frames\] based on various features." For each
+//! method — each single feature, and the combined weighted ranking — the
+//! driver issues the same held-out query frames against the same corpus
+//! and averages precision@k over queries, with ground truth = same
+//! category (optionally degraded by the [`crate::judge`] user-study
+//! model).
+//!
+//! The paper's table has six single-feature columns; our seventh feature
+//! (the naive signature) participates in the combined method but, like in
+//! the paper, gets no column of its own.
+
+use crate::corpus::{Corpus, CorpusConfig};
+use crate::judge::NoisyJudge;
+use crate::metrics::{mean, precision_at_k, recall_at_k};
+use crate::reference::{paper_rows, MethodPrecision, ShapeCheck, CUTOFFS};
+use cbvr_core::engine::QueryOptions;
+use cbvr_core::{FeatureWeights, Result};
+use cbvr_features::{FeatureKind, FeatureSet};
+use cbvr_imgproc::Histogram256;
+use cbvr_index::paper_range;
+use serde::{Deserialize, Serialize};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Table1Config {
+    /// Corpus to build and search.
+    pub corpus: CorpusConfig,
+    /// Held-out query videos per category.
+    pub queries_per_category: u32,
+    /// Frames sampled (evenly) from each query video.
+    pub frames_per_query: usize,
+    /// Route queries through the range index.
+    pub use_index: bool,
+    /// User-study judge error rate (0 = oracle).
+    pub judge_error_rate: f64,
+    /// Judge RNG seed.
+    pub judge_seed: u64,
+    /// Degrade query frames (border crop + sensor speckle) the way
+    /// real query images differ from catalog footage. Without this the
+    /// synthetic corpus is so clean that every feature saturates.
+    pub degrade_queries: bool,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Table1Config {
+            corpus: CorpusConfig::default(),
+            queries_per_category: 2,
+            frames_per_query: 2,
+            use_index: true,
+            judge_error_rate: 0.0,
+            judge_seed: 7,
+            degrade_queries: true,
+        }
+    }
+}
+
+/// A measured method row. Alias of the reference row type so the report
+/// can hold both side by side.
+pub type Table1Row = MethodPrecision;
+
+/// The full experiment output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Report {
+    /// Measured rows, in paper column order (Combined last).
+    pub measured: Vec<Table1Row>,
+    /// Measured mean recall@k per method (same cutoffs). The paper's
+    /// conclusion claims "precision and recall values are improved" by
+    /// the combination without publishing recall numbers; these make the
+    /// claim checkable.
+    pub measured_recall: Vec<Table1Row>,
+    /// The paper's rows, for side-by-side rendering.
+    pub paper: Vec<Table1Row>,
+    /// Qualitative shape checks over the measured rows.
+    pub shape: ShapeCheck,
+    /// Catalog size (key frames searched).
+    pub catalog_size: usize,
+    /// Number of query frames issued per method.
+    pub query_count: usize,
+}
+
+/// Query degradation: crop away a ~6% border (reframing), rescale back
+/// (resampling blur) and add a whisper of sensor speckle. Deterministic
+/// per (frame, category). Stronger speckle is counter-productive: it
+/// makes every query's texture look like the sports category's grass
+/// noise, biasing texture features below chance at the top ranks.
+pub fn degrade_query(frame: &cbvr_imgproc::RgbImage, seed: u64) -> cbvr_imgproc::RgbImage {
+    use cbvr_imgproc::geom::{crop, resize_rgb, Interpolation};
+    let (w, h) = frame.dimensions();
+    let bx = w / 16;
+    let by = h / 16;
+    let cropped = crop(frame, bx, by, w - 2 * bx, h - 2 * by).expect("border within raster");
+    // Nearest-neighbour resampling: bilinear would smooth the whole
+    // query, systematically dragging its texture statistics toward the
+    // smoothest catalog categories.
+    let mut restored =
+        resize_rgb(&cropped, w, h, Interpolation::Nearest).expect("original size is nonzero");
+    cbvr_imgproc::draw::speckle(&mut restored, 3, seed.wrapping_mul(0x9E37_79B9));
+    restored
+}
+
+/// The seven methods: six single features (paper column order) plus the
+/// combined ranking.
+fn methods() -> Vec<(String, FeatureWeights)> {
+    vec![
+        ("GLCM".into(), FeatureWeights::single(FeatureKind::Glcm)),
+        ("Gabor".into(), FeatureWeights::single(FeatureKind::Gabor)),
+        ("Tamura".into(), FeatureWeights::single(FeatureKind::Tamura)),
+        ("Histogram".into(), FeatureWeights::single(FeatureKind::ColorHistogram)),
+        ("Autocorrelogram".into(), FeatureWeights::single(FeatureKind::Correlogram)),
+        ("Simple Region Growing".into(), FeatureWeights::single(FeatureKind::Regions)),
+        ("Combined".into(), FeatureWeights::default()),
+    ]
+}
+
+/// Run the experiment.
+pub fn run_table1(config: &Table1Config) -> Result<Table1Report> {
+    let corpus = Corpus::build(config.corpus.clone())?;
+    run_table1_on(&corpus, config)
+}
+
+/// Run the experiment on a pre-built corpus (the ablation bins reuse one
+/// corpus across configurations).
+pub fn run_table1_on(corpus: &Corpus, config: &Table1Config) -> Result<Table1Report> {
+    // Prepare query frames: features extracted once, reused per method.
+    let query_videos = corpus.query_videos(config.queries_per_category)?;
+    let mut queries = Vec::new();
+    for (category, video) in &query_videos {
+        let n = video.frame_count();
+        let samples = config.frames_per_query.max(1).min(n);
+        for s in 0..samples {
+            let idx = s * n / samples;
+            let frame = video.frame(idx).expect("index in range");
+            let frame = if config.degrade_queries {
+                degrade_query(frame, (idx as u64) << 8 | *category as u64)
+            } else {
+                frame.clone()
+            };
+            let features = FeatureSet::extract(&frame);
+            let range = paper_range(&Histogram256::of_rgb_luma(&frame));
+            queries.push((*category, features, range));
+        }
+    }
+
+    let relevant_counts = corpus.relevant_counts();
+    let max_k = *CUTOFFS.last().expect("static cutoffs");
+    let mut measured = Vec::new();
+    let mut measured_recall = Vec::new();
+    for (name, weights) in methods() {
+        let mut per_cutoff: Vec<Vec<f64>> = vec![Vec::new(); CUTOFFS.len()];
+        let mut recall_cutoff: Vec<Vec<f64>> = vec![Vec::new(); CUTOFFS.len()];
+        let mut judge = NoisyJudge::new(config.judge_error_rate, config.judge_seed);
+        for (category, features, range) in &queries {
+            let options = QueryOptions {
+                k: max_k,
+                weights: weights.clone(),
+                use_index: config.use_index,
+                ..Default::default()
+            };
+            let results = corpus.engine.query_features(features, *range, &options);
+            let truth: Vec<bool> =
+                results.iter().map(|m| corpus.category_of(m.v_id) == *category).collect();
+            let judged = judge.judge_all(&truth);
+            let total_relevant = relevant_counts.get(category).copied().unwrap_or(0);
+            for ((p_slot, r_slot), &k) in
+                per_cutoff.iter_mut().zip(recall_cutoff.iter_mut()).zip(CUTOFFS.iter())
+            {
+                p_slot.push(precision_at_k(&judged, k));
+                r_slot.push(recall_at_k(&judged, k, total_relevant));
+            }
+        }
+        let precision = [
+            mean(&per_cutoff[0]),
+            mean(&per_cutoff[1]),
+            mean(&per_cutoff[2]),
+            mean(&per_cutoff[3]),
+        ];
+        let recall = [
+            mean(&recall_cutoff[0]),
+            mean(&recall_cutoff[1]),
+            mean(&recall_cutoff[2]),
+            mean(&recall_cutoff[3]),
+        ];
+        measured.push(Table1Row { method: name.clone(), precision });
+        measured_recall.push(Table1Row { method: name, precision: recall });
+    }
+
+    let shape = ShapeCheck::evaluate(&measured);
+    Ok(Table1Report {
+        measured,
+        measured_recall,
+        paper: paper_rows(),
+        shape,
+        catalog_size: corpus.engine.len(),
+        query_count: queries.len(),
+    })
+}
+
+impl Table1Report {
+    /// Render the measured-vs-paper table as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Table 1 — average precision at 20/30/50/100 frames \
+             (catalog: {} key frames, {} queries)\n\n",
+            self.catalog_size, self.query_count
+        ));
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8} {:>8}\n",
+            "method", "p@20", "p@30", "p@50", "p@100", "paper20", "paper30", "paper50", "paper100"
+        ));
+        for (m, p) in self.measured.iter().zip(&self.paper) {
+            out.push_str(&format!(
+                "{:<24} {:>8.3} {:>8.3} {:>8.3} {:>8.3}   {:>8.3} {:>8.3} {:>8.3} {:>8.3}\n",
+                m.method,
+                m.precision[0],
+                m.precision[1],
+                m.precision[2],
+                m.precision[3],
+                p.precision[0],
+                p.precision[1],
+                p.precision[2],
+                p.precision[3],
+            ));
+        }
+        out.push_str(&format!(
+            "\n{:<24} {:>8} {:>8} {:>8} {:>8}\n",
+            "method (recall)", "r@20", "r@30", "r@50", "r@100"
+        ));
+        for m in &self.measured_recall {
+            out.push_str(&format!(
+                "{:<24} {:>8.3} {:>8.3} {:>8.3} {:>8.3}\n",
+                m.method, m.precision[0], m.precision[1], m.precision[2], m.precision[3],
+            ));
+        }
+        out.push_str(&format!(
+            "\nshape (required): combined wins everywhere = {}, combined decays with k = {}\n\
+             shape (informational): methods decaying = {}/7, texture beats histogram = {}\n",
+            self.shape.combined_wins_everywhere,
+            self.shape.combined_decays_with_k,
+            self.shape.methods_decaying,
+            self.shape.texture_beats_histogram
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_video::GeneratorConfig;
+
+    fn tiny() -> Table1Config {
+        Table1Config {
+            corpus: CorpusConfig {
+                videos_per_category: 2,
+                generator: GeneratorConfig {
+                    width: 48,
+                    height: 36,
+                    shots_per_video: 2,
+                    min_shot_frames: 4,
+                    max_shot_frames: 6,
+                    ..GeneratorConfig::default()
+                },
+                ..CorpusConfig::default()
+            },
+            queries_per_category: 1,
+            frames_per_query: 1,
+            ..Table1Config::default()
+        }
+    }
+
+    #[test]
+    fn produces_all_seven_rows() {
+        let report = run_table1(&tiny()).unwrap();
+        assert_eq!(report.measured.len(), 7);
+        assert_eq!(report.measured.last().unwrap().method, "Combined");
+        assert_eq!(report.query_count, 5);
+        assert!(report.catalog_size > 0);
+        for row in &report.measured {
+            for p in row.precision {
+                assert!((0.0..=1.0).contains(&p), "{}: {p}", row.method);
+            }
+        }
+    }
+
+    #[test]
+    fn recall_rows_are_monotone_and_bounded() {
+        let report = run_table1(&tiny()).unwrap();
+        assert_eq!(report.measured_recall.len(), 7);
+        for row in &report.measured_recall {
+            for r in row.precision {
+                assert!((0.0..=1.0).contains(&r), "{}: {r}", row.method);
+            }
+            // Recall never decreases with k.
+            for w in row.precision.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{}: {:?}", row.method, row.precision);
+            }
+        }
+        // The combined method's recall@100 beats chance.
+        let combined = report.measured_recall.last().unwrap();
+        assert!(combined.precision[3] > 0.2, "{:?}", combined.precision);
+    }
+
+    #[test]
+    fn retrieval_beats_chance() {
+        // The tiny corpus has only a handful of relevant frames per
+        // category, so compare against the achievable ceiling and the
+        // chance floor rather than fixed constants.
+        let config = tiny();
+        let corpus = crate::corpus::Corpus::build(config.corpus.clone()).unwrap();
+        let report = run_table1_on(&corpus, &config).unwrap();
+        let combined = report.measured.last().unwrap().precision[0];
+
+        let counts = corpus.relevant_counts();
+        let catalog = corpus.engine.len() as f64;
+        let ceiling = cbvr_video::Category::ALL
+            .iter()
+            .map(|c| (counts[c].min(20)) as f64 / 20.0)
+            .sum::<f64>()
+            / 5.0;
+        let chance = cbvr_video::Category::ALL
+            .iter()
+            .map(|c| counts[c] as f64 / catalog)
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            combined > chance * 1.5,
+            "combined p@20 {combined} vs chance {chance} (ceiling {ceiling})"
+        );
+        assert!(
+            combined > ceiling * 0.5,
+            "combined p@20 {combined} should approach ceiling {ceiling}"
+        );
+    }
+
+    #[test]
+    fn judge_noise_lowers_measured_precision() {
+        let clean = run_table1(&tiny()).unwrap();
+        let mut noisy_config = tiny();
+        noisy_config.judge_error_rate = 0.4;
+        let noisy = run_table1(&noisy_config).unwrap();
+        let c = clean.measured.last().unwrap().precision[0];
+        let n = noisy.measured.last().unwrap().precision[0];
+        // Heavy noise drags precision toward 0.5-ish mixing; with strong
+        // clean precision this is a drop.
+        assert!(n < c + 0.05, "noisy {n} should not exceed clean {c}");
+    }
+
+    #[test]
+    fn render_contains_methods_and_paper_numbers() {
+        let report = run_table1(&tiny()).unwrap();
+        let text = report.render();
+        for m in crate::reference::METHODS {
+            assert!(text.contains(m), "missing {m} in:\n{text}");
+        }
+        assert!(text.contains("0.629"), "paper combined p@20 shown");
+    }
+
+    #[test]
+    fn report_serialises() {
+        let report = run_table1(&tiny()).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("Combined"));
+    }
+}

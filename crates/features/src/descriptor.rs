@@ -1,0 +1,254 @@
+//! Unified descriptor type over the seven features.
+//!
+//! The retrieval pipeline treats features uniformly: extract, measure a
+//! distance, serialise to the Oracle-style feature string and parse back.
+//! [`FeatureKind`] names the feature, [`Descriptor`] holds one value.
+
+use crate::correlogram::AutoColorCorrelogram;
+use crate::error::{FeatureError, Result};
+use crate::gabor::GaborTexture;
+use crate::glcm::GlcmTexture;
+use crate::histogram::ColorHistogram;
+use crate::naive::NaiveSignature;
+use crate::region::RegionGrowing;
+use crate::tamura::TamuraTexture;
+use cbvr_imgproc::RgbImage;
+use serde::{Deserialize, Serialize};
+
+/// The seven features of the paper (Table 1 columns).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Simple color histogram (§4.5) — Table 1 "Histogram".
+    ColorHistogram,
+    /// GLCM texture (§4.3).
+    Glcm,
+    /// Gabor texture (§4.4).
+    Gabor,
+    /// Tamura texture.
+    Tamura,
+    /// Auto color correlogram (§4.7).
+    Correlogram,
+    /// Superficial (naive) signature (§4.6).
+    Naive,
+    /// Simple region growing (§4.8).
+    Regions,
+}
+
+impl FeatureKind {
+    /// All kinds in Table 1 order (Histogram appears fourth there, but a
+    /// stable fixed order is what matters for iteration).
+    pub const ALL: [FeatureKind; 7] = [
+        FeatureKind::Glcm,
+        FeatureKind::Gabor,
+        FeatureKind::Tamura,
+        FeatureKind::ColorHistogram,
+        FeatureKind::Correlogram,
+        FeatureKind::Regions,
+        FeatureKind::Naive,
+    ];
+
+    /// Stable snake-case name, used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureKind::ColorHistogram => "histogram",
+            FeatureKind::Glcm => "glcm",
+            FeatureKind::Gabor => "gabor",
+            FeatureKind::Tamura => "tamura",
+            FeatureKind::Correlogram => "autocorrelogram",
+            FeatureKind::Naive => "naive",
+            FeatureKind::Regions => "region_growing",
+        }
+    }
+
+    /// Parse a [`FeatureKind::name`] back.
+    pub fn from_name(s: &str) -> Option<FeatureKind> {
+        FeatureKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Table 1 column label.
+    pub fn table1_label(self) -> &'static str {
+        match self {
+            FeatureKind::ColorHistogram => "Histogram",
+            FeatureKind::Glcm => "GLCM",
+            FeatureKind::Gabor => "Gabor",
+            FeatureKind::Tamura => "Tamura",
+            FeatureKind::Correlogram => "Autocorrelogram",
+            FeatureKind::Naive => "Naive",
+            FeatureKind::Regions => "Simple Region Growing",
+        }
+    }
+}
+
+impl std::fmt::Display for FeatureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One extracted descriptor of any kind.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Descriptor {
+    /// §4.5 simple color histogram.
+    ColorHistogram(ColorHistogram),
+    /// §4.3 GLCM texture statistics.
+    Glcm(GlcmTexture),
+    /// §4.4 Gabor filter-bank texture.
+    Gabor(GaborTexture),
+    /// Tamura texture.
+    Tamura(TamuraTexture),
+    /// §4.7 auto color correlogram.
+    Correlogram(AutoColorCorrelogram),
+    /// §4.6 naive 25-point signature.
+    Naive(NaiveSignature),
+    /// §4.8 region growing census.
+    Regions(RegionGrowing),
+}
+
+impl Descriptor {
+    /// Which feature this descriptor is.
+    pub fn kind(&self) -> FeatureKind {
+        match self {
+            Descriptor::ColorHistogram(_) => FeatureKind::ColorHistogram,
+            Descriptor::Glcm(_) => FeatureKind::Glcm,
+            Descriptor::Gabor(_) => FeatureKind::Gabor,
+            Descriptor::Tamura(_) => FeatureKind::Tamura,
+            Descriptor::Correlogram(_) => FeatureKind::Correlogram,
+            Descriptor::Naive(_) => FeatureKind::Naive,
+            Descriptor::Regions(_) => FeatureKind::Regions,
+        }
+    }
+
+    /// Extract the named feature from a frame.
+    pub fn extract(kind: FeatureKind, img: &RgbImage) -> Descriptor {
+        match kind {
+            FeatureKind::ColorHistogram => Descriptor::ColorHistogram(ColorHistogram::extract(img)),
+            FeatureKind::Glcm => Descriptor::Glcm(GlcmTexture::extract(img)),
+            FeatureKind::Gabor => Descriptor::Gabor(GaborTexture::extract(img)),
+            FeatureKind::Tamura => Descriptor::Tamura(TamuraTexture::extract(img)),
+            FeatureKind::Correlogram => Descriptor::Correlogram(AutoColorCorrelogram::extract(img)),
+            FeatureKind::Naive => Descriptor::Naive(NaiveSignature::extract(img)),
+            FeatureKind::Regions => Descriptor::Regions(RegionGrowing::extract(img)),
+        }
+    }
+
+    /// Native distance to another descriptor of the *same* kind.
+    ///
+    /// # Errors
+    /// Returns [`FeatureError::Mismatch`] when kinds differ.
+    pub fn distance(&self, other: &Descriptor) -> Result<f64> {
+        match (self, other) {
+            (Descriptor::ColorHistogram(a), Descriptor::ColorHistogram(b)) => Ok(a.distance(b)),
+            (Descriptor::Glcm(a), Descriptor::Glcm(b)) => Ok(a.distance(b)),
+            (Descriptor::Gabor(a), Descriptor::Gabor(b)) => Ok(a.distance(b)),
+            (Descriptor::Tamura(a), Descriptor::Tamura(b)) => Ok(a.distance(b)),
+            (Descriptor::Correlogram(a), Descriptor::Correlogram(b)) => Ok(a.distance(b)),
+            (Descriptor::Naive(a), Descriptor::Naive(b)) => Ok(a.distance(b)),
+            (Descriptor::Regions(a), Descriptor::Regions(b)) => Ok(a.distance(b)),
+            (a, b) => Err(FeatureError::Mismatch(format!(
+                "cannot compare {} with {}",
+                a.kind(),
+                b.kind()
+            ))),
+        }
+    }
+
+    /// The Oracle `VARCHAR2` serialisation (Fig. 8 formats).
+    pub fn to_feature_string(&self) -> String {
+        match self {
+            Descriptor::ColorHistogram(d) => d.to_feature_string(),
+            Descriptor::Glcm(d) => d.to_feature_string(),
+            Descriptor::Gabor(d) => d.to_feature_string(),
+            Descriptor::Tamura(d) => d.to_feature_string(),
+            Descriptor::Correlogram(d) => d.to_feature_string(),
+            Descriptor::Naive(d) => d.to_feature_string(),
+            Descriptor::Regions(d) => d.to_feature_string(),
+        }
+    }
+
+    /// Parse a feature string of the named kind.
+    pub fn parse(kind: FeatureKind, s: &str) -> Result<Descriptor> {
+        Ok(match kind {
+            FeatureKind::ColorHistogram => Descriptor::ColorHistogram(ColorHistogram::parse(s)?),
+            FeatureKind::Glcm => Descriptor::Glcm(GlcmTexture::parse(s)?),
+            FeatureKind::Gabor => Descriptor::Gabor(GaborTexture::parse(s)?),
+            FeatureKind::Tamura => Descriptor::Tamura(TamuraTexture::parse(s)?),
+            FeatureKind::Correlogram => Descriptor::Correlogram(AutoColorCorrelogram::parse(s)?),
+            FeatureKind::Naive => Descriptor::Naive(NaiveSignature::parse(s)?),
+            FeatureKind::Regions => Descriptor::Regions(RegionGrowing::parse(s)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_imgproc::Rgb;
+
+    fn sample() -> RgbImage {
+        RgbImage::from_fn(32, 32, |x, y| Rgb::new((x * 8) as u8, (y * 8) as u8, ((x + y) * 4) as u8))
+            .unwrap()
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for k in FeatureKind::ALL {
+            assert_eq!(FeatureKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FeatureKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn extract_reports_matching_kind() {
+        let img = sample();
+        for k in FeatureKind::ALL {
+            let d = Descriptor::extract(k, &img);
+            assert_eq!(d.kind(), k);
+        }
+    }
+
+    #[test]
+    fn every_kind_string_round_trips() {
+        let img = sample();
+        for k in FeatureKind::ALL {
+            let d = Descriptor::extract(k, &img);
+            let s = d.to_feature_string();
+            let back = Descriptor::parse(k, &s).unwrap();
+            // Self-distance of the parsed value must be ~0 (float printing
+            // is exact via `{}` for f64, so this is strict for most kinds).
+            assert!(d.distance(&back).unwrap() < 1e-9, "{k}: {s}");
+        }
+    }
+
+    #[test]
+    fn mismatched_kinds_error() {
+        let img = sample();
+        let a = Descriptor::extract(FeatureKind::Glcm, &img);
+        let b = Descriptor::extract(FeatureKind::Gabor, &img);
+        let err = a.distance(&b).unwrap_err();
+        assert!(err.to_string().contains("glcm"));
+        assert!(err.to_string().contains("gabor"));
+    }
+
+    #[test]
+    fn parse_with_wrong_kind_fails() {
+        let img = sample();
+        let s = Descriptor::extract(FeatureKind::Glcm, &img).to_feature_string();
+        assert!(Descriptor::parse(FeatureKind::Gabor, &s).is_err());
+    }
+
+    #[test]
+    fn self_distance_zero_for_all_kinds() {
+        let img = sample();
+        for k in FeatureKind::ALL {
+            let d = Descriptor::extract(k, &img);
+            assert_eq!(d.distance(&d).unwrap(), 0.0, "{k}");
+        }
+    }
+
+    #[test]
+    fn table1_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            FeatureKind::ALL.iter().map(|k| k.table1_label()).collect();
+        assert_eq!(labels.len(), FeatureKind::ALL.len());
+    }
+}

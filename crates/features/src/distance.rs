@@ -1,0 +1,150 @@
+//! Vector dissimilarity measures shared by the descriptors.
+//!
+//! Each descriptor has a *native* distance (the one its literature uses);
+//! these are the underlying kernels. All functions treat the inputs as
+//! equal-length slices and panic on length mismatch only in debug builds —
+//! callers validate shapes at the descriptor level.
+
+/// L1 (city-block) distance.
+pub fn l1(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// L2 (Euclidean) distance.
+pub fn l2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Chi-squared histogram distance: `Σ (x-y)² / (x+y)` over non-empty bins.
+pub fn chi2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| **x + **y > 0.0)
+        .map(|(x, y)| (x - y) * (x - y) / (x + y))
+        .sum()
+}
+
+/// Histogram-intersection *dissimilarity*: `1 − Σ min(x̂, ŷ)` on the
+/// normalised inputs; 0 for identical distributions, 1 for disjoint.
+/// Returns 1 when either histogram is empty.
+pub fn intersection_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    if sa <= 0.0 || sb <= 0.0 {
+        return 1.0;
+    }
+    let overlap: f64 = a.iter().zip(b).map(|(x, y)| (x / sa).min(y / sb)).sum();
+    (1.0 - overlap).max(0.0)
+}
+
+/// Cosine dissimilarity: `1 − cos(a, b)`, in `[0, 2]`. Returns 1 when a
+/// vector is all-zero.
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na * nb)
+}
+
+/// Jensen–Shannon divergence between two histograms (normalised
+/// internally), in `[0, ln 2]`. Symmetric and bounded, unlike KL.
+pub fn jensen_shannon(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    if sa <= 0.0 || sb <= 0.0 {
+        return if sa == sb { 0.0 } else { std::f64::consts::LN_2 };
+    }
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let p = x / sa;
+        let q = y / sb;
+        let m = 0.5 * (p + q);
+        if p > 0.0 {
+            acc += 0.5 * p * (p / m).ln();
+        }
+        if q > 0.0 {
+            acc += 0.5 * q * (q / m).ln();
+        }
+    }
+    acc.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+    const B: [f64; 4] = [4.0, 3.0, 2.0, 1.0];
+
+    #[test]
+    fn l1_l2_known_values() {
+        assert_eq!(l1(&A, &B), 8.0);
+        assert!((l2(&A, &B) - 20.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for f in [l1, l2, chi2, intersection_distance, cosine_distance, jensen_shannon] {
+            assert!(f(&A, &A).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for f in [l1, l2, chi2, intersection_distance, cosine_distance, jensen_shannon] {
+            assert!((f(&A, &B) - f(&B, &A)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intersection_disjoint_is_one() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((intersection_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_empty_histogram() {
+        let z = [0.0, 0.0];
+        assert_eq!(intersection_distance(&z, &A[..2]), 1.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 5.0];
+        assert!((cosine_distance(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_distance(&[0.0, 0.0], &b), 1.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!(cosine_distance(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_bounded_by_ln2() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let d = jensen_shannon(&a, &b);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi2_ignores_empty_bins() {
+        let a = [0.0, 1.0];
+        let b = [0.0, 3.0];
+        assert!((chi2(&a, &b) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-key-frame feature bundle.
+//!
+//! The `KEY_FRAMES` table stores one value of *each* feature per key frame
+//! (`SCH`, `GLCM`, `GABOR`, `TAMURA`, `MAJORREGIONS` columns plus the
+//! correlogram and naive signature shown in Fig. 8). [`FeatureSet`] is
+//! that row's feature payload: extract once, compare per-kind, serialise
+//! per-kind.
+
+use crate::correlogram::AutoColorCorrelogram;
+use crate::descriptor::{Descriptor, FeatureKind};
+use crate::error::Result;
+use crate::gabor::GaborTexture;
+use crate::glcm::GlcmTexture;
+use crate::histogram::ColorHistogram;
+use crate::naive::NaiveSignature;
+use crate::region::RegionGrowing;
+use crate::tamura::TamuraTexture;
+use cbvr_imgproc::RgbImage;
+use serde::{Deserialize, Serialize};
+
+/// All seven descriptors of one key frame.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// §4.5 simple color histogram (`SCH` column).
+    pub histogram: ColorHistogram,
+    /// §4.3 GLCM texture (`GLCM` column).
+    pub glcm: GlcmTexture,
+    /// §4.4 Gabor texture (`GABOR` column).
+    pub gabor: GaborTexture,
+    /// Tamura texture (`TAMURA` column).
+    pub tamura: TamuraTexture,
+    /// §4.7 auto color correlogram.
+    pub correlogram: AutoColorCorrelogram,
+    /// §4.6 naive signature.
+    pub naive: NaiveSignature,
+    /// §4.8 region census (`MAJORREGIONS` column).
+    pub regions: RegionGrowing,
+}
+
+impl FeatureSet {
+    /// Extract every feature from a frame.
+    pub fn extract(img: &RgbImage) -> FeatureSet {
+        FeatureSet {
+            histogram: ColorHistogram::extract(img),
+            glcm: GlcmTexture::extract(img),
+            gabor: GaborTexture::extract(img),
+            tamura: TamuraTexture::extract(img),
+            correlogram: AutoColorCorrelogram::extract(img),
+            naive: NaiveSignature::extract(img),
+            regions: RegionGrowing::extract(img),
+        }
+    }
+
+    /// Borrow one descriptor by kind (clones into the unified enum).
+    pub fn descriptor(&self, kind: FeatureKind) -> Descriptor {
+        match kind {
+            FeatureKind::ColorHistogram => Descriptor::ColorHistogram(self.histogram.clone()),
+            FeatureKind::Glcm => Descriptor::Glcm(self.glcm),
+            FeatureKind::Gabor => Descriptor::Gabor(self.gabor.clone()),
+            FeatureKind::Tamura => Descriptor::Tamura(self.tamura.clone()),
+            FeatureKind::Correlogram => Descriptor::Correlogram(self.correlogram.clone()),
+            FeatureKind::Naive => Descriptor::Naive(self.naive.clone()),
+            FeatureKind::Regions => Descriptor::Regions(self.regions),
+        }
+    }
+
+    /// Native per-kind distance between two feature sets.
+    pub fn distance(&self, other: &FeatureSet, kind: FeatureKind) -> f64 {
+        match kind {
+            FeatureKind::ColorHistogram => self.histogram.distance(&other.histogram),
+            FeatureKind::Glcm => self.glcm.distance(&other.glcm),
+            FeatureKind::Gabor => self.gabor.distance(&other.gabor),
+            FeatureKind::Tamura => self.tamura.distance(&other.tamura),
+            FeatureKind::Correlogram => self.correlogram.distance(&other.correlogram),
+            FeatureKind::Naive => self.naive.distance(&other.naive),
+            FeatureKind::Regions => self.regions.distance(&other.regions),
+        }
+    }
+
+    /// Serialise every feature to its Oracle-style string, in
+    /// [`FeatureKind::ALL`] order.
+    pub fn to_feature_strings(&self) -> Vec<(FeatureKind, String)> {
+        FeatureKind::ALL
+            .iter()
+            .map(|&k| (k, self.descriptor(k).to_feature_string()))
+            .collect()
+    }
+
+    /// Rebuild a set from per-kind feature strings (order-insensitive;
+    /// every kind must appear exactly once).
+    pub fn from_feature_strings<'a>(
+        strings: impl IntoIterator<Item = (FeatureKind, &'a str)>,
+    ) -> Result<FeatureSet> {
+        let mut histogram = None;
+        let mut glcm = None;
+        let mut gabor = None;
+        let mut tamura = None;
+        let mut correlogram = None;
+        let mut naive = None;
+        let mut regions = None;
+        for (kind, s) in strings {
+            match Descriptor::parse(kind, s)? {
+                Descriptor::ColorHistogram(d) => histogram = Some(d),
+                Descriptor::Glcm(d) => glcm = Some(d),
+                Descriptor::Gabor(d) => gabor = Some(d),
+                Descriptor::Tamura(d) => tamura = Some(d),
+                Descriptor::Correlogram(d) => correlogram = Some(d),
+                Descriptor::Naive(d) => naive = Some(d),
+                Descriptor::Regions(d) => regions = Some(d),
+            }
+        }
+        let missing = |name: &str| crate::error::FeatureError::Parse(format!("missing {name} feature"));
+        Ok(FeatureSet {
+            histogram: histogram.ok_or_else(|| missing("histogram"))?,
+            glcm: glcm.ok_or_else(|| missing("glcm"))?,
+            gabor: gabor.ok_or_else(|| missing("gabor"))?,
+            tamura: tamura.ok_or_else(|| missing("tamura"))?,
+            correlogram: correlogram.ok_or_else(|| missing("correlogram"))?,
+            naive: naive.ok_or_else(|| missing("naive"))?,
+            regions: regions.ok_or_else(|| missing("regions"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_imgproc::Rgb;
+
+    fn sample(seed: u8) -> RgbImage {
+        RgbImage::from_fn(32, 32, |x, y| {
+            Rgb::new(
+                (x * 8).wrapping_add(seed as u32) as u8,
+                (y * 8) as u8,
+                ((x + y) * 4) as u8,
+            )
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn extract_produces_consistent_descriptors() {
+        let img = sample(0);
+        let set = FeatureSet::extract(&img);
+        for k in FeatureKind::ALL {
+            let standalone = Descriptor::extract(k, &img);
+            assert_eq!(set.descriptor(k), standalone, "{k}");
+        }
+    }
+
+    #[test]
+    fn per_kind_distances_match_descriptor_distances() {
+        let a = FeatureSet::extract(&sample(0));
+        let b = FeatureSet::extract(&sample(90));
+        for k in FeatureKind::ALL {
+            let via_set = a.distance(&b, k);
+            let via_desc = a.descriptor(k).distance(&b.descriptor(k)).unwrap();
+            assert!((via_set - via_desc).abs() < 1e-12, "{k}");
+        }
+    }
+
+    #[test]
+    fn string_bundle_round_trip() {
+        let set = FeatureSet::extract(&sample(3));
+        let strings = set.to_feature_strings();
+        assert_eq!(strings.len(), 7);
+        let back =
+            FeatureSet::from_feature_strings(strings.iter().map(|(k, s)| (*k, s.as_str()))).unwrap();
+        for k in FeatureKind::ALL {
+            assert!(set.distance(&back, k) < 1e-9, "{k}");
+        }
+    }
+
+    #[test]
+    fn missing_feature_string_is_rejected() {
+        let set = FeatureSet::extract(&sample(1));
+        let mut strings = set.to_feature_strings();
+        strings.pop();
+        let err = FeatureSet::from_feature_strings(strings.iter().map(|(k, s)| (*k, s.as_str())));
+        assert!(err.is_err());
+    }
+}

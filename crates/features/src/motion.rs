@@ -1,0 +1,265 @@
+//! Motion activity descriptor (extension feature).
+//!
+//! §1 lists motion among the "most common visual features used in visual
+//! similarity match", and §6 plans to integrate more features; this is
+//! the natural first one. It is a *clip-level* descriptor computed from
+//! consecutive frame pairs:
+//!
+//! - **intensity**: mean and standard deviation of the per-pair mean
+//!   absolute gray difference (how much, and how unevenly, the clip
+//!   moves — cuts make the deviation spike);
+//! - **spatial histogram**: per 8×8 block, the average temporal
+//!   difference, quantised into [`MAG_BINS`] magnitude bins (separates
+//!   "everything moves a little" from "one object moves a lot").
+//!
+//! Distinguishes sports (fast, spatially concentrated motion) from
+//! e-learning/news (static) even when single-frame features agree.
+
+use crate::error::{FeatureError, Result};
+use cbvr_imgproc::RgbImage;
+use serde::{Deserialize, Serialize};
+
+/// Magnitude histogram bins.
+pub const MAG_BINS: usize = 8;
+/// Block side for the spatial histogram.
+const BLOCK: u32 = 8;
+/// Magnitude bin width in gray levels (bin 7 is open-ended).
+const BIN_WIDTH: f64 = 4.0;
+
+/// The motion activity descriptor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MotionActivity {
+    /// Mean of per-pair mean absolute differences.
+    pub mean_intensity: f64,
+    /// Standard deviation of per-pair differences (cut spikiness).
+    pub std_intensity: f64,
+    /// Normalised block-motion magnitude histogram.
+    pub histogram: Vec<f64>,
+}
+
+impl MotionActivity {
+    /// Extract from an ordered frame sequence. Sequences with fewer than
+    /// two frames yield the zero descriptor (no motion observable).
+    pub fn extract(frames: &[RgbImage]) -> MotionActivity {
+        if frames.len() < 2 {
+            return MotionActivity {
+                mean_intensity: 0.0,
+                std_intensity: 0.0,
+                histogram: vec![0.0; MAG_BINS],
+            };
+        }
+        let grays: Vec<_> = frames.iter().map(RgbImage::to_gray).collect();
+        let mut pair_means = Vec::with_capacity(grays.len() - 1);
+        let mut histogram = vec![0.0f64; MAG_BINS];
+        let mut blocks_total = 0u64;
+
+        for pair in grays.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            pair_means.push(a.mean_abs_diff(b).expect("same clip dimensions"));
+
+            let (w, h) = a.dimensions();
+            let mut by = 0;
+            while by < h {
+                let mut bx = 0;
+                while bx < w {
+                    let mut sum = 0u64;
+                    let mut n = 0u64;
+                    for y in by..(by + BLOCK).min(h) {
+                        for x in bx..(bx + BLOCK).min(w) {
+                            sum += (a.get(x, y).0 as i64 - b.get(x, y).0 as i64).unsigned_abs();
+                            n += 1;
+                        }
+                    }
+                    let magnitude = sum as f64 / n as f64;
+                    let bin = ((magnitude / BIN_WIDTH) as usize).min(MAG_BINS - 1);
+                    histogram[bin] += 1.0;
+                    blocks_total += 1;
+                    bx += BLOCK;
+                }
+                by += BLOCK;
+            }
+        }
+
+        let mean = pair_means.iter().sum::<f64>() / pair_means.len() as f64;
+        let var = pair_means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>()
+            / pair_means.len() as f64;
+        if blocks_total > 0 {
+            for b in &mut histogram {
+                *b /= blocks_total as f64;
+            }
+        }
+        MotionActivity { mean_intensity: mean, std_intensity: var.sqrt(), histogram }
+    }
+
+    /// Native distance: equal-weight mix of squashed intensity gaps and
+    /// the histogram L1, in `[0, 1]`.
+    pub fn distance(&self, other: &MotionActivity) -> f64 {
+        let squash = |v: f64| v / (v + 10.0); // gray-level scale → [0,1)
+        let d_mean = (squash(self.mean_intensity) - squash(other.mean_intensity)).abs();
+        let d_std = (squash(self.std_intensity) - squash(other.std_intensity)).abs();
+        let d_hist = crate::distance::l1(&self.histogram, &other.histogram) / 2.0;
+        (d_mean + d_std + d_hist) / 3.0
+    }
+
+    /// Feature string: `MOT 10 <mean> <std> <8 bins>`.
+    pub fn to_feature_string(&self) -> String {
+        let mut s = format!("MOT {} {} {}", 2 + MAG_BINS, self.mean_intensity, self.std_intensity);
+        for b in &self.histogram {
+            s.push(' ');
+            s.push_str(&format!("{b}"));
+        }
+        s
+    }
+
+    /// Parse the feature string back.
+    pub fn parse(s: &str) -> Result<MotionActivity> {
+        let mut t = s.split_whitespace();
+        if t.next() != Some("MOT") {
+            return Err(FeatureError::Parse("expected 'MOT' header".into()));
+        }
+        let dim: usize = t
+            .next()
+            .ok_or_else(|| FeatureError::Parse("missing dimension".into()))?
+            .parse()
+            .map_err(|e| FeatureError::Parse(format!("bad dimension: {e}")))?;
+        if dim != 2 + MAG_BINS {
+            return Err(FeatureError::Parse(format!("expected dim {}, got {dim}", 2 + MAG_BINS)));
+        }
+        let values: std::result::Result<Vec<f64>, _> = t.map(str::parse).collect();
+        let values = values.map_err(|e| FeatureError::Parse(format!("bad value: {e}")))?;
+        if values.len() != 2 + MAG_BINS {
+            return Err(FeatureError::Parse(format!(
+                "expected {} values, got {}",
+                2 + MAG_BINS,
+                values.len()
+            )));
+        }
+        Ok(MotionActivity {
+            mean_intensity: values[0],
+            std_intensity: values[1],
+            histogram: values[2..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_imgproc::{draw, Rgb};
+
+    fn static_clip(n: usize) -> Vec<RgbImage> {
+        vec![RgbImage::filled(32, 32, Rgb::new(100, 100, 100)).unwrap(); n]
+    }
+
+    fn moving_clip(n: usize, step: i32) -> Vec<RgbImage> {
+        (0..n)
+            .map(|i| {
+                let mut img = RgbImage::filled(32, 32, Rgb::new(30, 30, 30)).unwrap();
+                draw::fill_circle(&mut img, 4 + step * i as i32, 16, 4, Rgb::new(240, 240, 240));
+                img
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_clip_has_zero_motion() {
+        let m = MotionActivity::extract(&static_clip(6));
+        assert_eq!(m.mean_intensity, 0.0);
+        assert_eq!(m.std_intensity, 0.0);
+        // All block mass in the zero-magnitude bin.
+        assert!((m.histogram[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_motion_scores_higher_intensity() {
+        let slow = MotionActivity::extract(&moving_clip(8, 1));
+        let fast = MotionActivity::extract(&moving_clip(8, 4));
+        assert!(fast.mean_intensity > slow.mean_intensity);
+        // Fast motion shifts the histogram's centre of mass upward.
+        let centre = |h: &[f64]| h.iter().enumerate().map(|(i, v)| i as f64 * v).sum::<f64>();
+        assert!(
+            centre(&fast.histogram) > centre(&slow.histogram),
+            "fast {:?} vs slow {:?}",
+            fast.histogram,
+            slow.histogram
+        );
+    }
+
+    #[test]
+    fn cuts_spike_the_deviation() {
+        // Smooth motion vs the same plus one hard cut.
+        let smooth = moving_clip(8, 2);
+        let mut with_cut = moving_clip(8, 2);
+        with_cut[4] = RgbImage::filled(32, 32, Rgb::new(250, 10, 10)).unwrap();
+        let a = MotionActivity::extract(&smooth);
+        let b = MotionActivity::extract(&with_cut);
+        assert!(b.std_intensity > a.std_intensity * 2.0, "{} vs {}", b.std_intensity, a.std_intensity);
+    }
+
+    #[test]
+    fn short_sequences_yield_zero_descriptor() {
+        for frames in [vec![], static_clip(1)] {
+            let m = MotionActivity::extract(&frames);
+            assert_eq!(m.mean_intensity, 0.0);
+            assert!(m.histogram.iter().all(|&b| b == 0.0));
+        }
+    }
+
+    #[test]
+    fn histogram_is_normalised() {
+        let m = MotionActivity::extract(&moving_clip(10, 3));
+        let sum: f64 = m.histogram.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn distance_properties() {
+        let a = MotionActivity::extract(&static_clip(5));
+        let b = MotionActivity::extract(&moving_clip(5, 4));
+        assert_eq!(a.distance(&a), 0.0);
+        assert!(a.distance(&b) > 0.05);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert!(a.distance(&b) <= 1.0);
+    }
+
+    #[test]
+    fn separates_sports_from_news_style_motion() {
+        use cbvr_video::{Category, GeneratorConfig, VideoGenerator};
+        let g = VideoGenerator::new(GeneratorConfig {
+            width: 64,
+            height: 48,
+            shots_per_video: 1,
+            min_shot_frames: 10,
+            max_shot_frames: 10,
+            ..GeneratorConfig::default()
+        })
+        .unwrap();
+        let sports = g.generate(Category::Sports, 1).unwrap();
+        let news = g.generate(Category::News, 1).unwrap();
+        let ms = MotionActivity::extract(sports.frames());
+        let mn = MotionActivity::extract(news.frames());
+        assert!(
+            ms.mean_intensity > mn.mean_intensity,
+            "sports {} should out-move news {}",
+            ms.mean_intensity,
+            mn.mean_intensity
+        );
+    }
+
+    #[test]
+    fn feature_string_round_trip() {
+        let m = MotionActivity::extract(&moving_clip(6, 2));
+        let s = m.to_feature_string();
+        assert!(s.starts_with("MOT 10 "));
+        let back = MotionActivity::parse(&s).unwrap();
+        assert!((back.mean_intensity - m.mean_intensity).abs() < 1e-12);
+        assert_eq!(back.histogram.len(), MAG_BINS);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(MotionActivity::parse("TOM 10 0 0 0 0 0 0 0 0 0 0").is_err());
+        assert!(MotionActivity::parse("MOT 9 0 0 0 0 0 0 0 0 0").is_err());
+        assert!(MotionActivity::parse("MOT 10 1 2 3").is_err());
+    }
+}

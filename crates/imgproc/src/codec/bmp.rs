@@ -1,0 +1,164 @@
+//! 24-bit uncompressed Windows BMP codec (BITMAPINFOHEADER).
+//!
+//! Rows are stored bottom-up and padded to 4-byte boundaries; pixels are
+//! little-endian BGR. Exists so that dumped frames ("screen shots", Figs.
+//! 9–10) open in any stock image viewer.
+
+use crate::error::{ImgError, Result};
+use crate::image::RgbImage;
+use crate::pixel::Rgb;
+
+const FILE_HEADER_LEN: usize = 14;
+const INFO_HEADER_LEN: usize = 40;
+
+fn row_stride(width: u32) -> usize {
+    ((width as usize * 3) + 3) & !3
+}
+
+/// Encode as 24-bit bottom-up BMP.
+pub fn encode(img: &RgbImage) -> Vec<u8> {
+    let (w, h) = img.dimensions();
+    let stride = row_stride(w);
+    let pixel_bytes = stride * h as usize;
+    let file_len = FILE_HEADER_LEN + INFO_HEADER_LEN + pixel_bytes;
+
+    let mut out = Vec::with_capacity(file_len);
+    // BITMAPFILEHEADER
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(file_len as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&((FILE_HEADER_LEN + INFO_HEADER_LEN) as u32).to_le_bytes());
+    // BITMAPINFOHEADER
+    out.extend_from_slice(&(INFO_HEADER_LEN as u32).to_le_bytes());
+    out.extend_from_slice(&(w as i32).to_le_bytes());
+    out.extend_from_slice(&(h as i32).to_le_bytes()); // positive: bottom-up
+    out.extend_from_slice(&1u16.to_le_bytes()); // planes
+    out.extend_from_slice(&24u16.to_le_bytes()); // bpp
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB
+    out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 dpi
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // palette colors
+    out.extend_from_slice(&0u32.to_le_bytes()); // important colors
+
+    let pad = [0u8; 3];
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let p = img.get(x, y);
+            out.extend_from_slice(&[p.b, p.g, p.r]);
+        }
+        out.extend_from_slice(&pad[..stride - w as usize * 3]);
+    }
+    out
+}
+
+fn read_u32(data: &[u8], at: usize) -> Result<u32> {
+    data.get(at..at + 4)
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| ImgError::Decode("BMP header truncated".into()))
+}
+
+fn read_i32(data: &[u8], at: usize) -> Result<i32> {
+    read_u32(data, at).map(|v| v as i32)
+}
+
+fn read_u16(data: &[u8], at: usize) -> Result<u16> {
+    data.get(at..at + 2)
+        .map(|b| u16::from_le_bytes([b[0], b[1]]))
+        .ok_or_else(|| ImgError::Decode("BMP header truncated".into()))
+}
+
+/// Decode a 24-bit uncompressed BMP (top-down or bottom-up).
+pub fn decode(data: &[u8]) -> Result<RgbImage> {
+    if data.len() < FILE_HEADER_LEN + INFO_HEADER_LEN || &data[..2] != b"BM" {
+        return Err(ImgError::Decode("not a BMP stream".into()));
+    }
+    let pixel_offset = read_u32(data, 10)? as usize;
+    let header_size = read_u32(data, 14)?;
+    if header_size < INFO_HEADER_LEN as u32 {
+        return Err(ImgError::Decode(format!("unsupported BMP header size {header_size}")));
+    }
+    let width = read_i32(data, 18)?;
+    let raw_height = read_i32(data, 22)?;
+    let bpp = read_u16(data, 28)?;
+    let compression = read_u32(data, 30)?;
+    if bpp != 24 || compression != 0 {
+        return Err(ImgError::Decode(format!(
+            "only 24-bit uncompressed BMP supported (bpp={bpp}, compression={compression})"
+        )));
+    }
+    if width <= 0 || raw_height == 0 {
+        return Err(ImgError::Decode(format!("bad BMP dimensions {width}x{raw_height}")));
+    }
+    let bottom_up = raw_height > 0;
+    let width = width as u32;
+    let height = raw_height.unsigned_abs();
+
+    let stride = row_stride(width);
+    let need = stride * height as usize;
+    let raster = data
+        .get(pixel_offset..pixel_offset + need)
+        .ok_or_else(|| ImgError::Decode("BMP raster truncated".into()))?;
+
+    let mut img = RgbImage::new(width, height)
+        .map_err(|e| ImgError::Decode(format!("bad BMP dimensions: {e}")))?;
+    for row in 0..height {
+        let src_row = if bottom_up { height - 1 - row } else { row };
+        let base = src_row as usize * stride;
+        for x in 0..width {
+            let o = base + x as usize * 3;
+            img.put(x, row, Rgb::new(raster[o + 2], raster[o + 1], raster[o]));
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_unpadded_width() {
+        // width 4 → stride 12, no padding.
+        let img = RgbImage::from_fn(4, 3, |x, y| Rgb::new(x as u8 * 20, y as u8 * 30, 5)).unwrap();
+        assert_eq!(decode(&encode(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn round_trip_padded_width() {
+        // width 3 → 9 bytes/row, padded to 12.
+        let img = RgbImage::from_fn(3, 5, |x, y| Rgb::new(x as u8, y as u8, 200)).unwrap();
+        assert_eq!(decode(&encode(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn header_sizes_are_exact() {
+        let img = RgbImage::new(2, 2).unwrap();
+        let bytes = encode(&img);
+        assert_eq!(&bytes[..2], b"BM");
+        let file_len = u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]) as usize;
+        assert_eq!(file_len, bytes.len());
+    }
+
+    #[test]
+    fn rejects_non_bmp() {
+        assert!(decode(b"P6 1 1 255\n\0\0\0").is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_raster() {
+        let img = RgbImage::new(8, 8).unwrap();
+        let mut bytes = encode(&img);
+        bytes.truncate(bytes.len() - 10);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_other_bit_depths() {
+        let img = RgbImage::new(2, 2).unwrap();
+        let mut bytes = encode(&img);
+        bytes[28] = 8; // claim 8 bpp
+        assert!(decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Binary PGM (`P5`) codec for grayscale images.
+
+use super::ppm::HeaderCursor;
+use crate::error::{ImgError, Result};
+use crate::image::GrayImage;
+
+/// Encode as binary PGM with maxval 255.
+pub fn encode(img: &GrayImage) -> Vec<u8> {
+    let header = format!("P5\n{} {}\n255\n", img.width(), img.height());
+    let mut out = Vec::with_capacity(header.len() + img.as_raw().len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(img.as_raw());
+    out
+}
+
+/// Decode a binary PGM stream.
+pub fn decode(data: &[u8]) -> Result<GrayImage> {
+    let mut cursor = HeaderCursor::new(data);
+    cursor.expect_magic(b"P5")?;
+    let width = cursor.next_number()?;
+    let height = cursor.next_number()?;
+    let maxval = cursor.next_number()?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImgError::Decode(format!("unsupported PGM maxval {maxval}")));
+    }
+    cursor.skip_single_whitespace()?;
+    let need = (width as usize)
+        .checked_mul(height as usize)
+        .ok_or_else(|| ImgError::Decode("PGM dimensions overflow".into()))?;
+    let raster = cursor.rest();
+    if raster.len() < need {
+        return Err(ImgError::Decode(format!(
+            "PGM raster truncated: need {need} bytes, have {}",
+            raster.len()
+        )));
+    }
+    let mut pixels = raster[..need].to_vec();
+    if maxval != 255 {
+        let scale = 255.0 / maxval as f32;
+        for b in &mut pixels {
+            *b = ((*b as f32) * scale).round().min(255.0) as u8;
+        }
+    }
+    GrayImage::from_raw(width, height, pixels)
+        .map_err(|e| ImgError::Decode(format!("bad PGM dimensions: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Gray;
+
+    #[test]
+    fn round_trip() {
+        let img = GrayImage::from_fn(9, 5, |x, y| Gray((x * 13 + y * 29) as u8)).unwrap();
+        assert_eq!(decode(&encode(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn rejects_ppm_magic() {
+        assert!(decode(b"P6 1 1 255\n\0\0\0").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let img = GrayImage::from_fn(4, 4, |_, _| Gray(7)).unwrap();
+        let mut bytes = encode(&img);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn maxval_rescale() {
+        let mut bytes = b"P5 2 1 15\n".to_vec();
+        bytes.extend_from_slice(&[15, 0]);
+        let img = decode(&bytes).unwrap();
+        assert_eq!(img.get(0, 0), Gray(255));
+        assert_eq!(img.get(1, 0), Gray(0));
+    }
+}

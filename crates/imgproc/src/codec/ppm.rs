@@ -1,0 +1,173 @@
+//! Binary PPM (`P6`) codec.
+//!
+//! Grammar: `P6 <ws> width <ws> height <ws> maxval <single-ws> raster`,
+//! where `<ws>` is any run of whitespace possibly containing `#` comments.
+//! Only `maxval = 255` is produced; decoding accepts any maxval up to 255.
+
+use crate::error::{ImgError, Result};
+use crate::image::RgbImage;
+
+/// Encode as binary PPM with maxval 255.
+pub fn encode(img: &RgbImage) -> Vec<u8> {
+    let header = format!("P6\n{} {}\n255\n", img.width(), img.height());
+    let mut out = Vec::with_capacity(header.len() + img.as_raw().len());
+    out.extend_from_slice(header.as_bytes());
+    out.extend_from_slice(img.as_raw());
+    out
+}
+
+/// Decode a binary PPM stream.
+pub fn decode(data: &[u8]) -> Result<RgbImage> {
+    let mut cursor = HeaderCursor::new(data);
+    cursor.expect_magic(b"P6")?;
+    let width = cursor.next_number()?;
+    let height = cursor.next_number()?;
+    let maxval = cursor.next_number()?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImgError::Decode(format!("unsupported PPM maxval {maxval}")));
+    }
+    cursor.skip_single_whitespace()?;
+    let need = (width as usize)
+        .checked_mul(height as usize)
+        .and_then(|n| n.checked_mul(3))
+        .ok_or_else(|| ImgError::Decode("PPM dimensions overflow".into()))?;
+    let raster = cursor.rest();
+    if raster.len() < need {
+        return Err(ImgError::Decode(format!(
+            "PPM raster truncated: need {need} bytes, have {}",
+            raster.len()
+        )));
+    }
+    let mut pixels = raster[..need].to_vec();
+    if maxval != 255 {
+        let scale = 255.0 / maxval as f32;
+        for b in &mut pixels {
+            *b = ((*b as f32) * scale).round().min(255.0) as u8;
+        }
+    }
+    RgbImage::from_raw(width, height, pixels)
+        .map_err(|e| ImgError::Decode(format!("bad PPM dimensions: {e}")))
+}
+
+/// Shared ASCII-header scanner for the PNM family.
+pub(crate) struct HeaderCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> HeaderCursor<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        HeaderCursor { data, pos: 0 }
+    }
+
+    pub(crate) fn expect_magic(&mut self, magic: &[u8]) -> Result<()> {
+        if self.data.len() < magic.len() || &self.data[..magic.len()] != magic {
+            return Err(ImgError::Decode(format!(
+                "missing magic {:?}",
+                String::from_utf8_lossy(magic)
+            )));
+        }
+        self.pos = magic.len();
+        Ok(())
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        while self.pos < self.data.len() {
+            let b = self.data[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if b == b'#' {
+                while self.pos < self.data.len() && self.data[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub(crate) fn next_number(&mut self) -> Result<u32> {
+        self.skip_ws_and_comments();
+        let start = self.pos;
+        while self.pos < self.data.len() && self.data[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ImgError::Decode("expected number in PNM header".into()));
+        }
+        std::str::from_utf8(&self.data[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ImgError::Decode("bad number in PNM header".into()))
+    }
+
+    /// Consume exactly one whitespace byte separating header and raster.
+    pub(crate) fn skip_single_whitespace(&mut self) -> Result<()> {
+        if self.pos < self.data.len() && self.data[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ImgError::Decode("missing separator before PNM raster".into()))
+        }
+    }
+
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pixel::Rgb;
+
+    #[test]
+    fn round_trip() {
+        let img = RgbImage::from_fn(7, 3, |x, y| Rgb::new(x as u8, y as u8, (x ^ y) as u8)).unwrap();
+        assert_eq!(decode(&encode(&img)).unwrap(), img);
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let mut bytes = b"P6\n# a comment\n2 1\n# another\n255\n".to_vec();
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        let img = decode(&bytes).unwrap();
+        assert_eq!(img.dimensions(), (2, 1));
+        assert_eq!(img.get(0, 0), Rgb::new(1, 2, 3));
+        assert_eq!(img.get(1, 0), Rgb::new(4, 5, 6));
+    }
+
+    #[test]
+    fn small_maxval_is_rescaled() {
+        let mut bytes = b"P6 1 1 3\n".to_vec();
+        bytes.extend_from_slice(&[3, 0, 1]);
+        let img = decode(&bytes).unwrap();
+        assert_eq!(img.get(0, 0), Rgb::new(255, 0, 85));
+    }
+
+    #[test]
+    fn truncated_raster_rejected() {
+        let mut bytes = b"P6 2 2 255\n".to_vec();
+        bytes.extend_from_slice(&[0; 11]); // needs 12
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(decode(b"P5 1 1 255\n\0").is_err());
+        assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn zero_maxval_rejected() {
+        assert!(decode(b"P6 1 1 0\n\0\0\0").is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_tolerated() {
+        let img = RgbImage::from_fn(2, 2, |x, _| Rgb::new(x as u8, 0, 0)).unwrap();
+        let mut bytes = encode(&img);
+        bytes.extend_from_slice(b"garbage after raster");
+        assert_eq!(decode(&bytes).unwrap(), img);
+    }
+}

@@ -1,0 +1,189 @@
+//! Intensity enhancement: histogram equalisation, gamma and contrast
+//! stretching.
+//!
+//! Retrieval front ends commonly normalise query images before feature
+//! extraction ("query by image content" inputs arrive with arbitrary
+//! exposure). These are the standard three normalisers; the evaluation
+//! harness also uses them to build harder query-degradation variants.
+
+use crate::hist::Histogram256;
+use crate::image::{GrayImage, RgbImage};
+use crate::pixel::{Gray, Rgb};
+
+/// Histogram equalisation of a gray image: maps intensities through the
+/// normalised CDF, flattening the histogram.
+pub fn equalize_gray(img: &GrayImage) -> GrayImage {
+    let hist = Histogram256::of_gray(img);
+    let total = hist.total();
+    if total == 0 {
+        return img.clone();
+    }
+    // CDF-based lookup table, anchored so the darkest occupied bin maps
+    // to 0 (the classic formulation).
+    let mut lut = [0u8; 256];
+    let mut cum = 0u64;
+    let cdf_min = hist.bins().iter().copied().find(|&c| c > 0).unwrap_or(0);
+    let denom = (total - cdf_min).max(1);
+    for (i, &count) in hist.bins().iter().enumerate() {
+        cum += count;
+        let value = ((cum.saturating_sub(cdf_min)) as f64 * 255.0 / denom as f64).round();
+        lut[i] = value.clamp(0.0, 255.0) as u8;
+    }
+    let mut out = img.clone();
+    out.map_in_place(|p| Gray(lut[p.0 as usize]));
+    out
+}
+
+/// Histogram equalisation of an RGB image via the luminance channel:
+/// each pixel's channels are scaled by the luma gain, preserving hue.
+pub fn equalize_rgb(img: &RgbImage) -> RgbImage {
+    let gray = img.to_gray();
+    let equalized = equalize_gray(&gray);
+    let (w, h) = img.dimensions();
+    RgbImage::from_fn(w, h, |x, y| {
+        let before = gray.get(x, y).0 as f32;
+        let after = equalized.get(x, y).0 as f32;
+        if before == 0.0 {
+            return img.get(x, y);
+        }
+        let gain = after / before;
+        let p = img.get(x, y);
+        let scale = |c: u8| ((c as f32) * gain).round().clamp(0.0, 255.0) as u8;
+        Rgb::new(scale(p.r), scale(p.g), scale(p.b))
+    })
+    .expect("same nonzero dims")
+}
+
+/// Gamma correction: `out = 255 · (in/255)^gamma`. `gamma < 1` brightens,
+/// `gamma > 1` darkens. Non-positive gamma is clamped to a tiny positive
+/// value.
+pub fn gamma_rgb(img: &RgbImage, gamma: f64) -> RgbImage {
+    let gamma = gamma.max(1e-6);
+    let mut lut = [0u8; 256];
+    for (i, v) in lut.iter_mut().enumerate() {
+        *v = (255.0 * (i as f64 / 255.0).powf(gamma)).round().clamp(0.0, 255.0) as u8;
+    }
+    let mut out = img.clone();
+    out.map_in_place(|p| Rgb::new(lut[p.r as usize], lut[p.g as usize], lut[p.b as usize]));
+    out
+}
+
+/// Linear contrast stretch: maps the observed luma `[lo, hi]` percentile
+/// range onto `[0, 255]`, channel-wise. `clip` is the fraction trimmed
+/// at each tail (0.01 = 1%).
+pub fn stretch_contrast_rgb(img: &RgbImage, clip: f64) -> RgbImage {
+    let clip = clip.clamp(0.0, 0.49);
+    let hist = Histogram256::of_rgb_luma(img);
+    let total = hist.total();
+    if total == 0 {
+        return img.clone();
+    }
+    let cut = (total as f64 * clip) as u64;
+    let mut lo = 0usize;
+    let mut acc = 0u64;
+    for (i, &c) in hist.bins().iter().enumerate() {
+        acc += c;
+        if acc > cut {
+            lo = i;
+            break;
+        }
+    }
+    let mut hi = 255usize;
+    acc = 0;
+    for (i, &c) in hist.bins().iter().enumerate().rev() {
+        acc += c;
+        if acc > cut {
+            hi = i;
+            break;
+        }
+    }
+    if hi <= lo {
+        return img.clone();
+    }
+    let span = (hi - lo) as f32;
+    let mut out = img.clone();
+    out.map_in_place(|p| {
+        let scale = |c: u8| (((c as f32 - lo as f32) * 255.0 / span).round()).clamp(0.0, 255.0) as u8;
+        Rgb::new(scale(p.r), scale(p.g), scale(p.b))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::GrayImage;
+
+    #[test]
+    fn equalize_spreads_a_narrow_histogram() {
+        // Intensities packed into [100, 110] spread across [0, 255].
+        let img = GrayImage::from_fn(16, 16, |x, _| Gray(100 + (x % 11) as u8)).unwrap();
+        let eq = equalize_gray(&img);
+        let min = eq.pixels().map(|p| p.0).min().unwrap();
+        let max = eq.pixels().map(|p| p.0).max().unwrap();
+        assert_eq!(min, 0);
+        assert!(max > 220, "max {max}");
+    }
+
+    #[test]
+    fn equalize_preserves_intensity_order() {
+        let img = GrayImage::from_fn(16, 1, |x, _| Gray((x * 16) as u8)).unwrap();
+        let eq = equalize_gray(&img);
+        for x in 1..16 {
+            assert!(eq.get(x, 0).0 >= eq.get(x - 1, 0).0);
+        }
+    }
+
+    #[test]
+    fn equalize_constant_image_is_stable() {
+        let img = GrayImage::filled(8, 8, Gray(77)).unwrap();
+        let eq = equalize_gray(&img);
+        // A single-bin histogram maps to one value; all pixels equal.
+        let first = eq.get(0, 0);
+        assert!(eq.pixels().all(|p| p == first));
+    }
+
+    #[test]
+    fn gamma_direction() {
+        let img = RgbImage::filled(4, 4, Rgb::new(64, 64, 64)).unwrap();
+        let bright = gamma_rgb(&img, 0.5);
+        let dark = gamma_rgb(&img, 2.0);
+        assert!(bright.get(0, 0).r > 64);
+        assert!(dark.get(0, 0).r < 64);
+        // Gamma 1 is identity.
+        assert_eq!(gamma_rgb(&img, 1.0), img);
+        // Extremes stay fixed.
+        let bw = RgbImage::from_fn(2, 1, |x, _| if x == 0 { Rgb::BLACK } else { Rgb::WHITE }).unwrap();
+        assert_eq!(gamma_rgb(&bw, 0.4), bw);
+    }
+
+    #[test]
+    fn stretch_expands_low_contrast() {
+        let img = RgbImage::from_fn(16, 16, |x, _| {
+            let v = 110 + (x % 8) as u8;
+            Rgb::new(v, v, v)
+        })
+        .unwrap();
+        let out = stretch_contrast_rgb(&img, 0.0);
+        let min = out.pixels().map(|p| p.r).min().unwrap();
+        let max = out.pixels().map(|p| p.r).max().unwrap();
+        assert_eq!(min, 0);
+        assert_eq!(max, 255);
+    }
+
+    #[test]
+    fn stretch_constant_image_unchanged() {
+        let img = RgbImage::filled(8, 8, Rgb::new(42, 42, 42)).unwrap();
+        assert_eq!(stretch_contrast_rgb(&img, 0.01), img);
+    }
+
+    #[test]
+    fn equalize_rgb_preserves_hue_ordering() {
+        // A red-dominant image stays red-dominant after equalisation.
+        let img = RgbImage::from_fn(16, 16, |x, _| Rgb::new(100 + (x * 4) as u8, 50, 20)).unwrap();
+        let eq = equalize_rgb(&img);
+        for (_, _, p) in eq.enumerate_pixels() {
+            assert!(p.r >= p.g && p.g >= p.b, "{p:?}");
+        }
+    }
+}

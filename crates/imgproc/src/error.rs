@@ -1,0 +1,89 @@
+//! Error type shared by all image operations.
+
+use std::fmt;
+
+/// Errors produced by image decoding, encoding and geometry checks.
+#[derive(Debug)]
+pub enum ImgError {
+    /// The byte stream is not a valid image in the expected format.
+    Decode(String),
+    /// The image cannot be encoded (e.g. zero-sized raster).
+    Encode(String),
+    /// An operation was asked to work outside the raster bounds.
+    OutOfBounds {
+        /// Requested x coordinate.
+        x: u32,
+        /// Requested y coordinate.
+        y: u32,
+        /// Raster width.
+        width: u32,
+        /// Raster height.
+        height: u32,
+    },
+    /// Dimensions are invalid for the requested operation (zero side,
+    /// overflowing pixel count, mismatched sizes, ...).
+    Dimensions(String),
+    /// Underlying I/O failure while reading or writing an image.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImgError::Decode(m) => write!(f, "image decode error: {m}"),
+            ImgError::Encode(m) => write!(f, "image encode error: {m}"),
+            ImgError::OutOfBounds { x, y, width, height } => {
+                write!(f, "pixel ({x},{y}) out of bounds for {width}x{height} image")
+            }
+            ImgError::Dimensions(m) => write!(f, "invalid dimensions: {m}"),
+            ImgError::Io(e) => write!(f, "image i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImgError {
+    fn from(e: std::io::Error) -> Self {
+        ImgError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ImgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ImgError::OutOfBounds { x: 10, y: 20, width: 5, height: 5 };
+        let s = e.to_string();
+        assert!(s.contains("10"), "{s}");
+        assert!(s.contains("5x5"), "{s}");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: ImgError = io.into();
+        assert!(matches!(e, ImgError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn source_chains_for_io() {
+        use std::error::Error;
+        let e: ImgError = std::io::Error::other("x").into();
+        assert!(e.source().is_some());
+        assert!(ImgError::Decode("bad".into()).source().is_none());
+    }
+}

@@ -1,0 +1,359 @@
+//! The core raster type.
+//!
+//! [`Image`] is a packed, row-major raster generic over [`Pixel`]. It is the
+//! Rust equivalent of the paper's `BufferedImage` / `PlanarImage` /
+//! `Raster` trio: a single owned buffer with typed accessors.
+
+use crate::error::{ImgError, Result};
+use crate::pixel::{Gray, Pixel, Rgb};
+use serde::{Deserialize, Serialize};
+
+/// A packed row-major image with `u8` channels.
+///
+/// Coordinates are `(x, y)` with the origin at the top-left corner,
+/// matching the pseudocode's `pixels[w][h]` indexing.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image<P: Pixel> {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+    #[serde(skip)]
+    _marker: std::marker::PhantomData<P>,
+}
+
+/// 24-bit RGB image.
+pub type RgbImage = Image<Rgb>;
+/// 8-bit grayscale image.
+pub type GrayImage = Image<Gray>;
+
+impl<P: Pixel> std::fmt::Debug for Image<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Image")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .field("channels", &P::CHANNELS)
+            .finish()
+    }
+}
+
+impl<P: Pixel> Image<P> {
+    /// Create an image filled with the default pixel (black).
+    ///
+    /// # Errors
+    /// Returns [`ImgError::Dimensions`] when a side is zero or the byte
+    /// count would overflow `usize`.
+    pub fn new(width: u32, height: u32) -> Result<Self> {
+        Self::filled(width, height, P::default())
+    }
+
+    /// Create an image with every pixel set to `fill`.
+    pub fn filled(width: u32, height: u32, fill: P) -> Result<Self> {
+        let len = Self::byte_len(width, height)?;
+        let mut data = vec![0u8; len];
+        let mut chunk = vec![0u8; P::CHANNELS];
+        fill.write_to(&mut chunk);
+        for px in data.chunks_exact_mut(P::CHANNELS) {
+            px.copy_from_slice(&chunk);
+        }
+        Ok(Image { width, height, data, _marker: std::marker::PhantomData })
+    }
+
+    /// Wrap an existing packed buffer. The buffer must hold exactly
+    /// `width * height * CHANNELS` bytes.
+    pub fn from_raw(width: u32, height: u32, data: Vec<u8>) -> Result<Self> {
+        let len = Self::byte_len(width, height)?;
+        if data.len() != len {
+            return Err(ImgError::Dimensions(format!(
+                "raw buffer holds {} bytes but {width}x{height}x{} needs {len}",
+                data.len(),
+                P::CHANNELS
+            )));
+        }
+        Ok(Image { width, height, data, _marker: std::marker::PhantomData })
+    }
+
+    /// Build an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> P) -> Result<Self> {
+        let mut img = Self::new(width, height)?;
+        for y in 0..height {
+            for x in 0..width {
+                img.put(x, y, f(x, y));
+            }
+        }
+        Ok(img)
+    }
+
+    fn byte_len(width: u32, height: u32) -> Result<usize> {
+        if width == 0 || height == 0 {
+            return Err(ImgError::Dimensions(format!("zero-sized image {width}x{height}")));
+        }
+        (width as usize)
+            .checked_mul(height as usize)
+            .and_then(|n| n.checked_mul(P::CHANNELS))
+            .ok_or_else(|| ImgError::Dimensions(format!("{width}x{height} overflows")))
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Total number of pixels.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Borrow the packed channel buffer.
+    #[inline]
+    pub fn as_raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consume the image, returning the packed channel buffer.
+    pub fn into_raw(self) -> Vec<u8> {
+        self.data
+    }
+
+    #[inline]
+    fn offset(&self, x: u32, y: u32) -> usize {
+        (y as usize * self.width as usize + x as usize) * P::CHANNELS
+    }
+
+    /// True when `(x, y)` lies inside the raster.
+    #[inline]
+    pub fn in_bounds(&self, x: u32, y: u32) -> bool {
+        x < self.width && y < self.height
+    }
+
+    /// Read the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds; use [`Image::get_checked`] for a fallible
+    /// variant.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> P {
+        assert!(self.in_bounds(x, y), "pixel ({x},{y}) out of bounds for {}x{}", self.width, self.height);
+        let o = self.offset(x, y);
+        P::from_slice(&self.data[o..o + P::CHANNELS])
+    }
+
+    /// Fallible pixel read.
+    pub fn get_checked(&self, x: u32, y: u32) -> Result<P> {
+        if !self.in_bounds(x, y) {
+            return Err(ImgError::OutOfBounds { x, y, width: self.width, height: self.height });
+        }
+        Ok(self.get(x, y))
+    }
+
+    /// Read the pixel at `(x, y)`, clamping coordinates to the raster edge.
+    /// Useful for kernel operations near borders.
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> P {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Write the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn put(&mut self, x: u32, y: u32, p: P) {
+        assert!(self.in_bounds(x, y), "pixel ({x},{y}) out of bounds for {}x{}", self.width, self.height);
+        let o = self.offset(x, y);
+        p.write_to(&mut self.data[o..o + P::CHANNELS]);
+    }
+
+    /// Fallible pixel write.
+    pub fn put_checked(&mut self, x: u32, y: u32, p: P) -> Result<()> {
+        if !self.in_bounds(x, y) {
+            return Err(ImgError::OutOfBounds { x, y, width: self.width, height: self.height });
+        }
+        self.put(x, y, p);
+        Ok(())
+    }
+
+    /// Iterate pixels in row-major order together with their coordinates.
+    pub fn enumerate_pixels(&self) -> impl Iterator<Item = (u32, u32, P)> + '_ {
+        let w = self.width;
+        self.data
+            .chunks_exact(P::CHANNELS)
+            .enumerate()
+            .map(move |(i, c)| ((i as u32) % w, (i as u32) / w, P::from_slice(c)))
+    }
+
+    /// Iterate pixel values in row-major order.
+    pub fn pixels(&self) -> impl Iterator<Item = P> + '_ {
+        self.data.chunks_exact(P::CHANNELS).map(P::from_slice)
+    }
+
+    /// Apply `f` to every pixel in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(P) -> P) {
+        for chunk in self.data.chunks_exact_mut(P::CHANNELS) {
+            let p = f(P::from_slice(chunk));
+            p.write_to(chunk);
+        }
+    }
+}
+
+impl RgbImage {
+    /// Convert to grayscale with the paper's luma weights.
+    pub fn to_gray(&self) -> GrayImage {
+        let mut out = GrayImage::new(self.width, self.height).expect("same nonzero dims");
+        for (i, chunk) in self.data.chunks_exact(3).enumerate() {
+            out.data[i] = crate::color::luma_u8(chunk[0], chunk[1], chunk[2]);
+        }
+        out
+    }
+}
+
+impl GrayImage {
+    /// Expand to RGB by replicating the intensity into each channel.
+    pub fn to_rgb(&self) -> RgbImage {
+        let mut out = RgbImage::new(self.width, self.height).expect("same nonzero dims");
+        for (i, &v) in self.data.iter().enumerate() {
+            out.data[i * 3] = v;
+            out.data[i * 3 + 1] = v;
+            out.data[i * 3 + 2] = v;
+        }
+        out
+    }
+
+    /// Mean absolute pixel difference against another image of identical
+    /// dimensions. This is the "difference between ri1 & ri2" primitive the
+    /// key-frame extractor thresholds (§4.1).
+    pub fn mean_abs_diff(&self, other: &GrayImage) -> Result<f64> {
+        if self.dimensions() != other.dimensions() {
+            return Err(ImgError::Dimensions(format!(
+                "size mismatch: {}x{} vs {}x{}",
+                self.width, self.height, other.width, other.height
+            )));
+        }
+        let sum: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as i64 - b as i64).unsigned_abs())
+            .sum();
+        Ok(sum as f64 / self.pixel_count() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_black() {
+        let img = RgbImage::new(4, 3).unwrap();
+        assert_eq!(img.dimensions(), (4, 3));
+        assert!(img.pixels().all(|p| p == Rgb::BLACK));
+        assert_eq!(img.as_raw().len(), 4 * 3 * 3);
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(RgbImage::new(0, 5).is_err());
+        assert!(GrayImage::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn from_raw_validates_length() {
+        assert!(RgbImage::from_raw(2, 2, vec![0; 12]).is_ok());
+        assert!(RgbImage::from_raw(2, 2, vec![0; 11]).is_err());
+        assert!(GrayImage::from_raw(2, 2, vec![0; 4]).is_ok());
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut img = RgbImage::new(3, 3).unwrap();
+        img.put(1, 2, Rgb::new(9, 8, 7));
+        assert_eq!(img.get(1, 2), Rgb::new(9, 8, 7));
+        assert_eq!(img.get(0, 0), Rgb::BLACK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = RgbImage::new(2, 2).unwrap();
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn checked_access_errors_instead_of_panicking() {
+        let mut img = GrayImage::new(2, 2).unwrap();
+        assert!(img.get_checked(5, 5).is_err());
+        assert!(img.put_checked(5, 5, Gray(1)).is_err());
+        assert!(img.put_checked(1, 1, Gray(77)).is_ok());
+        assert_eq!(img.get_checked(1, 1).unwrap(), Gray(77));
+    }
+
+    #[test]
+    fn clamped_reads_edge() {
+        let mut img = GrayImage::new(2, 2).unwrap();
+        img.put(0, 0, Gray(10));
+        img.put(1, 1, Gray(20));
+        assert_eq!(img.get_clamped(-5, -5), Gray(10));
+        assert_eq!(img.get_clamped(10, 10), Gray(20));
+    }
+
+    #[test]
+    fn from_fn_coordinates() {
+        let img = GrayImage::from_fn(3, 2, |x, y| Gray((x + 10 * y) as u8)).unwrap();
+        assert_eq!(img.get(2, 1), Gray(12));
+        assert_eq!(img.get(0, 0), Gray(0));
+    }
+
+    #[test]
+    fn enumerate_pixels_row_major() {
+        let img = GrayImage::from_fn(2, 2, |x, y| Gray((x + 2 * y) as u8)).unwrap();
+        let v: Vec<_> = img.enumerate_pixels().collect();
+        assert_eq!(v, vec![(0, 0, Gray(0)), (1, 0, Gray(1)), (0, 1, Gray(2)), (1, 1, Gray(3))]);
+    }
+
+    #[test]
+    fn gray_rgb_round_trips_for_gray_content() {
+        let g = GrayImage::from_fn(4, 4, |x, y| Gray((x * y) as u8 * 10)).unwrap();
+        assert_eq!(g.to_rgb().to_gray(), g);
+    }
+
+    #[test]
+    fn mean_abs_diff_basics() {
+        let a = GrayImage::filled(4, 4, Gray(10)).unwrap();
+        let b = GrayImage::filled(4, 4, Gray(14)).unwrap();
+        assert_eq!(a.mean_abs_diff(&b).unwrap(), 4.0);
+        assert_eq!(a.mean_abs_diff(&a).unwrap(), 0.0);
+        let c = GrayImage::new(3, 4).unwrap();
+        assert!(a.mean_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn map_in_place_applies() {
+        let mut img = GrayImage::filled(2, 2, Gray(100)).unwrap();
+        img.map_in_place(|p| Gray(p.0 / 2));
+        assert!(img.pixels().all(|p| p == Gray(50)));
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_content() {
+        let img = GrayImage::from_fn(3, 3, |x, y| Gray((x * 3 + y) as u8)).unwrap();
+        let (w, h) = img.dimensions();
+        let back = GrayImage::from_raw(w, h, img.clone().into_raw()).unwrap();
+        assert_eq!(back, img);
+    }
+}

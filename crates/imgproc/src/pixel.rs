@@ -1,0 +1,194 @@
+//! Pixel types: 8-bit RGB and 8-bit grayscale.
+//!
+//! The paper works exclusively with 8-bit channels (`0xff & pixel[i]`), so
+//! the whole workspace standardises on `u8` channels. [`Pixel`] abstracts
+//! over the channel count so [`crate::image::Image`] can be generic.
+
+use serde::{Deserialize, Serialize};
+
+/// A packed pixel with a fixed number of `u8` channels.
+///
+/// Implementors are plain-old-data: conversion to and from a channel slice
+/// is lossless and allocation-free.
+pub trait Pixel: Copy + Clone + PartialEq + Eq + std::fmt::Debug + Default + Send + Sync + 'static {
+    /// Number of `u8` channels per pixel (3 for RGB, 1 for grayscale).
+    const CHANNELS: usize;
+
+    /// Read a pixel from a channel slice of length `CHANNELS`.
+    ///
+    /// # Panics
+    /// Panics if `slice.len() < CHANNELS`.
+    fn from_slice(slice: &[u8]) -> Self;
+
+    /// Write this pixel's channels into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() < CHANNELS`.
+    fn write_to(&self, out: &mut [u8]);
+
+    /// Perceptual luminance in `0..=255` using the paper's band-combine
+    /// weights `B*0.114 + G*0.587 + R*0.299`.
+    fn luma(&self) -> u8;
+}
+
+/// 24-bit RGB pixel.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Hash, Serialize, Deserialize)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// Construct from explicit channels.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Rgb { r, g, b }
+    }
+
+    /// Black (all channels 0).
+    pub const BLACK: Rgb = Rgb::new(0, 0, 0);
+    /// White (all channels 255).
+    pub const WHITE: Rgb = Rgb::new(255, 255, 255);
+
+    /// Channel-wise linear interpolation: `t = 0` gives `self`, `t = 1`
+    /// gives `other`. `t` is clamped to `[0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f32) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 { (a as f32 + (b as f32 - a as f32) * t).round() as u8 };
+        Rgb::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+
+    /// Saturating channel-wise addition of a signed delta, used by the
+    /// noise generators in [`crate::draw`].
+    pub fn offset(self, d: i16) -> Rgb {
+        let adj = |c: u8| -> u8 { (c as i16 + d).clamp(0, 255) as u8 };
+        Rgb::new(adj(self.r), adj(self.g), adj(self.b))
+    }
+}
+
+impl Pixel for Rgb {
+    const CHANNELS: usize = 3;
+
+    #[inline]
+    fn from_slice(slice: &[u8]) -> Self {
+        Rgb { r: slice[0], g: slice[1], b: slice[2] }
+    }
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[0] = self.r;
+        out[1] = self.g;
+        out[2] = self.b;
+    }
+
+    #[inline]
+    fn luma(&self) -> u8 {
+        crate::color::luma_u8(self.r, self.g, self.b)
+    }
+}
+
+/// 8-bit grayscale pixel.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gray(pub u8);
+
+impl Gray {
+    /// Construct from the raw intensity.
+    pub const fn new(v: u8) -> Self {
+        Gray(v)
+    }
+
+    /// The raw intensity.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl Pixel for Gray {
+    const CHANNELS: usize = 1;
+
+    #[inline]
+    fn from_slice(slice: &[u8]) -> Self {
+        Gray(slice[0])
+    }
+
+    #[inline]
+    fn write_to(&self, out: &mut [u8]) {
+        out[0] = self.0;
+    }
+
+    #[inline]
+    fn luma(&self) -> u8 {
+        self.0
+    }
+}
+
+impl From<u8> for Gray {
+    fn from(v: u8) -> Self {
+        Gray(v)
+    }
+}
+
+impl From<Rgb> for Gray {
+    fn from(p: Rgb) -> Self {
+        Gray(p.luma())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb_slice_round_trip() {
+        let p = Rgb::new(1, 2, 3);
+        let mut buf = [0u8; 3];
+        p.write_to(&mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(Rgb::from_slice(&buf), p);
+    }
+
+    #[test]
+    fn gray_slice_round_trip() {
+        let p = Gray::new(42);
+        let mut buf = [0u8; 1];
+        p.write_to(&mut buf);
+        assert_eq!(Gray::from_slice(&buf), p);
+    }
+
+    #[test]
+    fn luma_matches_paper_weights() {
+        // Pure green should dominate: 0.587 * 255 ≈ 150.
+        assert_eq!(Rgb::new(0, 255, 0).luma(), 150);
+        // White maps to 255, black to 0.
+        assert_eq!(Rgb::WHITE.luma(), 255);
+        assert_eq!(Rgb::BLACK.luma(), 0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Rgb::new(0, 0, 0);
+        let b = Rgb::new(200, 100, 50);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Rgb::new(100, 50, 25));
+        // Out-of-range t is clamped.
+        assert_eq!(a.lerp(b, 2.0), b);
+        assert_eq!(a.lerp(b, -1.0), a);
+    }
+
+    #[test]
+    fn offset_saturates() {
+        assert_eq!(Rgb::new(250, 5, 128).offset(10), Rgb::new(255, 15, 138));
+        assert_eq!(Rgb::new(250, 5, 128).offset(-10), Rgb::new(240, 0, 118));
+    }
+
+    #[test]
+    fn gray_from_rgb_uses_luma() {
+        let g: Gray = Rgb::new(0, 255, 0).into();
+        assert_eq!(g.value(), 150);
+    }
+}

@@ -1,0 +1,222 @@
+//! Range-keyed bucket store and candidate lookup.
+//!
+//! Key frames are grouped by their assigned [`RangeKey`]; at query time
+//! the query frame's range selects candidate buckets, pruning the feature
+//! search. Two pruning policies are provided:
+//!
+//! - [`RangeIndex::bucket_candidates`] — only the exact bucket (fastest,
+//!   lowest recall);
+//! - [`RangeIndex::overlap_candidates`] — every bucket whose range
+//!   overlaps the query's (the default: a level-1 stop like `[0,127]`
+//!   must still reach frames filed under `[0,63]`).
+
+use crate::paper::RangeKey;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of an index (for Fig. 7 output and the ablation
+/// benches).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Total items indexed.
+    pub items: usize,
+    /// Number of non-empty buckets.
+    pub buckets: usize,
+    /// Largest bucket size.
+    pub max_bucket: usize,
+    /// Items per level (0 = 128-wide, 1 = 64-wide, 2 = 32-wide ranges).
+    pub per_level: Vec<usize>,
+}
+
+/// A bucketed range index over items of type `T` (frame ids in the
+/// pipeline; any payload in tests).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeIndex<T> {
+    buckets: BTreeMap<RangeKey, Vec<T>>,
+    items: usize,
+}
+
+impl<T> Default for RangeIndex<T> {
+    fn default() -> Self {
+        RangeIndex { buckets: BTreeMap::new(), items: 0 }
+    }
+}
+
+impl<T: Clone> RangeIndex<T> {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// File an item under a range.
+    pub fn insert(&mut self, key: RangeKey, item: T) {
+        self.buckets.entry(key).or_default().push(item);
+        self.items += 1;
+    }
+
+    /// Items filed under exactly `key`.
+    pub fn bucket_candidates(&self, key: RangeKey) -> Vec<T> {
+        self.buckets.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Items filed under any range overlapping `key`, in bucket order.
+    pub fn overlap_candidates(&self, key: RangeKey) -> Vec<T> {
+        let mut out = Vec::new();
+        for (k, items) in &self.buckets {
+            if k.overlaps(key) {
+                out.extend(items.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Every indexed item, in bucket order (the no-index baseline).
+    pub fn all(&self) -> Vec<T> {
+        self.buckets.values().flatten().cloned().collect()
+    }
+
+    /// Occupied buckets with their sizes, ordered by range.
+    pub fn occupancy(&self) -> Vec<(RangeKey, usize)> {
+        self.buckets.iter().map(|(k, v)| (*k, v.len())).collect()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> IndexStats {
+        let mut per_level = vec![0usize; 3];
+        let mut max_bucket = 0;
+        for (k, v) in &self.buckets {
+            max_bucket = max_bucket.max(v.len());
+            let level = k.level() as usize;
+            if level < per_level.len() {
+                per_level[level] += v.len();
+            }
+        }
+        IndexStats { items: self.items, buckets: self.buckets.len(), max_bucket, per_level }
+    }
+
+    /// Render the Fig. 7 indexing tree with per-node occupancy.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::from("0-255 (root)\n");
+        let count = |min: u8, max: u8| {
+            self.buckets.get(&RangeKey { min, max }).map_or(0, Vec::len)
+        };
+        for level in 1..=3u32 {
+            let width = 256u32 >> level;
+            let mut lo = 0u32;
+            out.push_str(&"  ".repeat(level as usize));
+            let mut first = true;
+            while lo < 256 {
+                let hi = lo + width - 1;
+                if !first {
+                    out.push_str("  ");
+                }
+                first = false;
+                out.push_str(&format!("{}-{} [{}]", lo, hi, count(lo as u8, hi as u8)));
+                lo += width;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(min: u8, max: u8) -> RangeKey {
+        RangeKey { min, max }
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(0, 63), "a");
+        idx.insert(key(0, 63), "b");
+        idx.insert(key(128, 255), "c");
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.bucket_candidates(key(0, 63)), vec!["a", "b"]);
+        assert_eq!(idx.bucket_candidates(key(64, 127)), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn overlap_lookup_crosses_levels() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(0, 127), 1); // level-1 stop
+        idx.insert(key(0, 63), 2);
+        idx.insert(key(96, 127), 3);
+        idx.insert(key(128, 191), 4);
+        // A query at [0,31] overlaps [0,127] and [0,63] but not [96,127].
+        let c = idx.overlap_candidates(key(0, 31));
+        assert_eq!(c, vec![2, 1]); // BTreeMap order: (0,63) < (0,127)
+        // A query spanning [0,127] reaches everything in the lower half.
+        let c = idx.overlap_candidates(key(0, 127));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn all_returns_everything() {
+        let mut idx = RangeIndex::new();
+        for i in 0..10 {
+            idx.insert(key(32 * (i % 4) as u8, 32 * (i % 4) as u8 + 31), i);
+        }
+        assert_eq!(idx.all().len(), 10);
+    }
+
+    #[test]
+    fn stats_reflect_levels() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(0, 127), "l0");
+        idx.insert(key(0, 63), "l1");
+        idx.insert(key(0, 63), "l1b");
+        idx.insert(key(0, 31), "l2");
+        let s = idx.stats();
+        assert_eq!(s.items, 4);
+        assert_eq!(s.buckets, 3);
+        assert_eq!(s.max_bucket, 2);
+        assert_eq!(s.per_level, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let idx: RangeIndex<u32> = RangeIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.bucket_candidates(key(0, 127)).is_empty());
+        assert!(idx.overlap_candidates(key(0, 255)).is_empty());
+        assert!(idx.all().is_empty());
+        assert_eq!(idx.stats().buckets, 0);
+    }
+
+    #[test]
+    fn render_tree_shows_occupancy() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(0, 63), 1);
+        idx.insert(key(0, 63), 2);
+        idx.insert(key(224, 255), 3);
+        let rendered = idx.render_tree();
+        assert!(rendered.contains("0-63 [2]"), "{rendered}");
+        assert!(rendered.contains("224-255 [1]"), "{rendered}");
+        assert!(rendered.contains("0-255 (root)"));
+        assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    fn occupancy_is_sorted_by_range() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(128, 191), 0);
+        idx.insert(key(0, 31), 1);
+        let occ = idx.occupancy();
+        assert_eq!(occ[0].0, key(0, 31));
+        assert_eq!(occ[1].0, key(128, 191));
+    }
+}

@@ -1,0 +1,192 @@
+//! Generalised range-finder tree.
+//!
+//! §4.2's finder is a fixed 3-level, {55%, 60%, 60%} instance of a simple
+//! family: at each level, descend into the dyadic half that holds more
+//! than a threshold share of histogram mass, stop when neither does.
+//! [`RangeTree`] lets depth and thresholds vary — the ablation bench uses
+//! it to show how pruning power and recall trade off against the paper's
+//! constants.
+
+use crate::paper::RangeKey;
+use cbvr_imgproc::Histogram256;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a generalised range tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RangeTreeConfig {
+    /// Mass thresholds (percent) per level; the tree is as deep as this
+    /// vector. The paper is `[55.0, 60.0, 60.0]`.
+    pub thresholds: Vec<f64>,
+}
+
+impl Default for RangeTreeConfig {
+    /// The paper's configuration.
+    fn default() -> Self {
+        RangeTreeConfig { thresholds: vec![55.0, 60.0, 60.0] }
+    }
+}
+
+impl RangeTreeConfig {
+    /// Validate: at least one level and a max depth that keeps ranges at
+    /// least 2 bins wide (depth ≤ 7).
+    pub fn validated(self) -> Result<Self, String> {
+        if self.thresholds.is_empty() {
+            return Err("range tree needs at least one level".into());
+        }
+        if self.thresholds.len() > 7 {
+            return Err(format!("depth {} exceeds the 7 dyadic levels of 0..=255", self.thresholds.len()));
+        }
+        if self.thresholds.iter().any(|t| !(0.0..=100.0).contains(t)) {
+            return Err("thresholds must be percentages in [0, 100]".into());
+        }
+        Ok(self)
+    }
+}
+
+/// A generalised range-finder.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RangeTree {
+    config: RangeTreeConfig,
+}
+
+impl RangeTree {
+    /// Build from a validated config.
+    pub fn new(config: RangeTreeConfig) -> Result<RangeTree, String> {
+        Ok(RangeTree { config: config.validated()? })
+    }
+
+    /// The paper's 3-level tree.
+    pub fn paper() -> RangeTree {
+        RangeTree { config: RangeTreeConfig::default() }
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.config.thresholds.len()
+    }
+
+    /// Assign a range to a histogram.
+    ///
+    /// Level 0 mirrors the paper's asymmetric first test: if the lower
+    /// half does not pass the threshold the *upper* half is taken
+    /// unconditionally. Lower levels refine only while a half passes.
+    pub fn assign(&self, hist: &Histogram256) -> RangeKey {
+        let mut lo: u8 = 0;
+        let mut hi: u8 = 255;
+        for (level, &threshold) in self.config.thresholds.iter().enumerate() {
+            let mid = lo + (hi - lo) / 2;
+            if crate::paper::passes(hist, lo, mid, threshold) {
+                hi = mid;
+            } else if level == 0 {
+                // Paper quirk: the first level always picks a half.
+                lo = mid + 1;
+            } else if crate::paper::passes(hist, mid + 1, hi, threshold) {
+                lo = mid + 1;
+            } else {
+                break;
+            }
+        }
+        RangeKey { min: lo, max: hi }
+    }
+
+    /// All ranges the tree can produce, shallowest first (Fig. 7's nodes,
+    /// minus the never-produced root).
+    pub fn possible_ranges(&self) -> Vec<RangeKey> {
+        let mut out = Vec::new();
+        for level in 1..=self.depth() {
+            let width = 256u32 >> level;
+            let mut lo = 0u32;
+            while lo < 256 {
+                out.push(RangeKey { min: lo as u8, max: (lo + width - 1) as u8 });
+                lo += width;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_at(v: u8, n: u64) -> Histogram256 {
+        let mut h = Histogram256::new();
+        for _ in 0..n {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn paper_tree_matches_paper_function() {
+        let tree = RangeTree::paper();
+        for v in [0u8, 17, 63, 64, 127, 128, 200, 255] {
+            let h = hist_at(v, 50);
+            assert_eq!(tree.assign(&h), crate::paper::paper_range(&h), "intensity {v}");
+        }
+        // Mixed-mass cases too.
+        let mut h = Histogram256::new();
+        for _ in 0..50 {
+            h.record(70);
+        }
+        for _ in 0..50 {
+            h.record(120);
+        }
+        assert_eq!(tree.assign(&h), crate::paper::paper_range(&h));
+    }
+
+    #[test]
+    fn deeper_trees_refine_further() {
+        let deep = RangeTree::new(RangeTreeConfig { thresholds: vec![55.0, 60.0, 60.0, 60.0, 60.0] })
+            .unwrap();
+        let h = hist_at(3, 100);
+        let r = deep.assign(&h);
+        assert_eq!((r.min, r.max), (0, 7));
+    }
+
+    #[test]
+    fn depth_one_only_halves() {
+        let shallow = RangeTree::new(RangeTreeConfig { thresholds: vec![55.0] }).unwrap();
+        assert_eq!(shallow.assign(&hist_at(10, 10)), RangeKey { min: 0, max: 127 });
+        assert_eq!(shallow.assign(&hist_at(200, 10)), RangeKey { min: 128, max: 255 });
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RangeTree::new(RangeTreeConfig { thresholds: vec![] }).is_err());
+        assert!(RangeTree::new(RangeTreeConfig { thresholds: vec![50.0; 8] }).is_err());
+        assert!(RangeTree::new(RangeTreeConfig { thresholds: vec![101.0] }).is_err());
+        assert!(RangeTree::new(RangeTreeConfig { thresholds: vec![-1.0] }).is_err());
+    }
+
+    #[test]
+    fn possible_ranges_enumerates_fig7() {
+        let tree = RangeTree::paper();
+        let ranges = tree.possible_ranges();
+        // 2 + 4 + 8 = 14 nodes below the root.
+        assert_eq!(ranges.len(), 14);
+        assert!(ranges.contains(&RangeKey { min: 0, max: 127 }));
+        assert!(ranges.contains(&RangeKey { min: 128, max: 255 }));
+        assert!(ranges.contains(&RangeKey { min: 96, max: 127 }));
+        assert!(ranges.contains(&RangeKey { min: 224, max: 255 }));
+    }
+
+    #[test]
+    fn lower_threshold_descends_more_eagerly() {
+        // 55% of mass in [0,31]: paper's 60% second level refuses to
+        // descend past [0,127]→[0,63]? — check a lax tree descends deeper.
+        let mut h = Histogram256::new();
+        for _ in 0..55 {
+            h.record(10);
+        }
+        for _ in 0..45 {
+            h.record(100);
+        }
+        let strict = RangeTree::paper().assign(&h);
+        let lax = RangeTree::new(RangeTreeConfig { thresholds: vec![50.0, 50.0, 50.0] })
+            .unwrap()
+            .assign(&h);
+        assert!(lax.width() <= strict.width());
+        assert!(lax.width() < 128);
+    }
+}

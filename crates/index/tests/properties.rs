@@ -1,0 +1,78 @@
+//! Property tests for the range-finder index.
+
+use cbvr_imgproc::Histogram256;
+use cbvr_index::{paper_range, RangeIndex, RangeKey, RangeTree};
+use proptest::prelude::*;
+
+fn arb_histogram() -> impl Strategy<Value = Histogram256> {
+    proptest::collection::vec(any::<u8>(), 1..300).prop_map(|values| {
+        let mut h = Histogram256::new();
+        for v in values {
+            h.record(v);
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn paper_tree_equals_paper_function(h in arb_histogram()) {
+        prop_assert_eq!(RangeTree::paper().assign(&h), paper_range(&h));
+    }
+
+    #[test]
+    fn assignment_is_a_fig7_node(h in arb_histogram()) {
+        let r = paper_range(&h);
+        let nodes = RangeTree::paper().possible_ranges();
+        prop_assert!(nodes.contains(&r), "{r} not a Fig. 7 node");
+    }
+
+    #[test]
+    fn overlap_candidates_match_brute_force(
+        keys in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..60),
+        probe in (any::<u8>(), any::<u8>()),
+    ) {
+        let mut index = RangeIndex::new();
+        let mut items = Vec::new();
+        for (i, (a, b)) in keys.iter().enumerate() {
+            let key = RangeKey::new(*a, *b);
+            index.insert(key, i);
+            items.push((key, i));
+        }
+        let probe = RangeKey::new(probe.0, probe.1);
+        let mut got = index.overlap_candidates(probe);
+        let mut want: Vec<usize> =
+            items.iter().filter(|(k, _)| k.overlaps(probe)).map(|(_, i)| *i).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deeper_trees_never_widen(h in arb_histogram()) {
+        let shallow = RangeTree::new(cbvr_index::RangeTreeConfig { thresholds: vec![55.0, 60.0] })
+            .unwrap()
+            .assign(&h);
+        let deep = RangeTree::new(cbvr_index::RangeTreeConfig {
+            thresholds: vec![55.0, 60.0, 60.0, 60.0],
+        })
+        .unwrap()
+        .assign(&h);
+        prop_assert!(deep.width() <= shallow.width());
+        prop_assert!(shallow.contains(deep), "{shallow} should contain {deep}");
+    }
+
+    #[test]
+    fn stats_items_equal_inserts(
+        keys in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+    ) {
+        let mut index = RangeIndex::new();
+        for (i, (a, b)) in keys.iter().enumerate() {
+            index.insert(RangeKey::new(*a, *b), i);
+        }
+        prop_assert_eq!(index.stats().items, keys.len());
+        prop_assert_eq!(index.all().len(), keys.len());
+    }
+}

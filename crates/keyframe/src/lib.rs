@@ -1,0 +1,30 @@
+//! # cbvr-keyframe — key-frame extraction (§4.1)
+//!
+//! "Starts from 1st frame from sorted list of files. If consecutive frames
+//! are within threshold, then two frames are similar. Repeat process till
+//! frames are similar, delete all similar frames & take 1st as key-frame.
+//! Start with next frame which is outside threshold & repeat."
+//!
+//! The distance the paper thresholds (`dist > 800.0`) is the raw
+//! superficial-signature distance between the two frames after rescaling
+//! to the 300×300 canvas: the sum, over the 25 sample points, of the
+//! Euclidean RGB distance between mean colors. [`signature_distance`]
+//! computes exactly that, and the default [`KeyframeConfig::threshold`]
+//! is the paper's 800.0.
+//!
+//! Beyond the paper's first-of-run strategy, [`Strategy::MiddleOfRun`]
+//! picks the run's central frame (a common refinement that avoids
+//! transition blur at shot starts), and [`adaptive`] replaces the global
+//! threshold with a local-statistics shot-boundary detector that catches
+//! low-contrast cuts the fixed 800.0 misses.
+#![warn(missing_docs)]
+
+
+pub mod adaptive;
+mod extractor;
+
+pub use adaptive::{detect_shot_boundaries, extract_keyframes_adaptive, AdaptiveConfig};
+pub use extractor::{
+    extract_keyframes, extract_keyframes_from_frames, signature_distance, Keyframe,
+    KeyframeConfig, Strategy,
+};

@@ -1,0 +1,881 @@
+//! [`CbvrDatabase`] — the public storage facade.
+//!
+//! Owns the pager plus three B+-trees:
+//!
+//! - `VIDEO_STORE` primary (v_id → row),
+//! - `KEY_FRAMES` primary (i_id → row),
+//! - the `(v_id, i_id)` secondary index (composite key → nothing), which
+//!   serves the pipeline's "all key frames of video X" lookups without a
+//!   full scan.
+//!
+//! Every public mutator is atomic: it commits on success and rolls back
+//! on failure (autocommit). [`CbvrDatabase::run_batch`] groups many
+//! mutations into one commit — ingestion uses it so one video plus all
+//! its key frames land atomically, which is also what makes crash tests
+//! meaningful.
+//!
+//! Rows that outgrow a B+-tree cell spill transparently to the blob heap
+//! (tag byte `1` + blob ref instead of tag `0` + inline row).
+
+use crate::backend::{Backend, FaultPlan, FileBackend, MemBackend};
+use crate::btree::{BTree, MAX_VALUE_LEN};
+use crate::error::{Result, StorageError};
+use crate::heap::{free_blob, read_blob, write_blob, BlobRef};
+use crate::page::PageId;
+use crate::pager::{Pager, DEFAULT_CACHE_PAGES, USER_META_LEN};
+use crate::tables::{
+    decode_key_frame_row, decode_video_row, encode_key_frame_row, encode_video_row, KeyFrameRecord,
+    KeyFrameRow, VideoRecord, VideoRow, VideoRowFull,
+};
+use std::path::Path;
+
+const TAG_INLINE: u8 = 0;
+const TAG_SPILLED: u8 = 1;
+
+/// The CBVR database over any backend.
+pub struct CbvrDatabase<B: Backend> {
+    pager: Pager<B>,
+    video_store: BTree,
+    key_frames: BTree,
+    kf_by_video: BTree,
+    next_v_id: u64,
+    next_i_id: u64,
+    autocommit: bool,
+}
+
+impl CbvrDatabase<FileBackend> {
+    /// Open (or create) a database in `dir` (`cbvr.db` + `cbvr.wal`).
+    pub fn open_dir(dir: &Path) -> Result<CbvrDatabase<FileBackend>> {
+        std::fs::create_dir_all(dir)?;
+        let data = FileBackend::open(&dir.join("cbvr.db"))?;
+        let wal = FileBackend::open(&dir.join("cbvr.wal"))?;
+        Self::open(data, wal)
+    }
+}
+
+impl CbvrDatabase<MemBackend> {
+    /// Fresh in-memory database (tests, benches, examples).
+    pub fn in_memory() -> Result<CbvrDatabase<MemBackend>> {
+        Self::open(MemBackend::new(), MemBackend::new())
+    }
+
+    /// In-memory database with shared handles, for crash/recovery tests.
+    pub fn on_backends(data: MemBackend, wal: MemBackend) -> Result<CbvrDatabase<MemBackend>> {
+        Self::open(data, wal)
+    }
+
+    /// In-memory database wired to a fault plan on the data file.
+    pub fn in_memory_with_faults() -> Result<(CbvrDatabase<MemBackend>, FaultPlan, MemBackend, MemBackend)>
+    {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let plan = data.faults();
+        let db = Self::open(data.share(), wal.share())?;
+        Ok((db, plan, data, wal))
+    }
+}
+
+impl<B: Backend> CbvrDatabase<B> {
+    /// Open over explicit backends.
+    pub fn open(data: B, wal: B) -> Result<CbvrDatabase<B>> {
+        let mut pager = Pager::open(data, wal, DEFAULT_CACHE_PAGES)?;
+        let meta = *pager.user_meta();
+        let video_root = u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes"));
+        let mut db = if video_root == 0 {
+            // Fresh database: create the trees and persist the catalog.
+            let video_store = BTree::create(&mut pager)?;
+            let key_frames = BTree::create(&mut pager)?;
+            let kf_by_video = BTree::create(&mut pager)?;
+            let mut db = CbvrDatabase {
+                pager,
+                video_store,
+                key_frames,
+                kf_by_video,
+                next_v_id: 1,
+                next_i_id: 1,
+                autocommit: true,
+            };
+            db.save_meta();
+            db.pager.commit()?;
+            db
+        } else {
+            let key_root = u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes"));
+            let sec_root = u32::from_le_bytes(meta[8..12].try_into().expect("4 bytes"));
+            let next_v_id = u64::from_le_bytes(meta[16..24].try_into().expect("8 bytes"));
+            let next_i_id = u64::from_le_bytes(meta[24..32].try_into().expect("8 bytes"));
+            CbvrDatabase {
+                pager,
+                video_store: BTree::load(video_root),
+                key_frames: BTree::load(key_root),
+                kf_by_video: BTree::load(sec_root),
+                next_v_id,
+                next_i_id,
+                autocommit: true,
+            }
+        };
+        db.autocommit = true;
+        Ok(db)
+    }
+
+    fn save_meta(&mut self) {
+        let mut meta = [0u8; USER_META_LEN];
+        meta[0..4].copy_from_slice(&self.video_store.root().to_le_bytes());
+        meta[4..8].copy_from_slice(&self.key_frames.root().to_le_bytes());
+        meta[8..12].copy_from_slice(&self.kf_by_video.root().to_le_bytes());
+        meta[16..24].copy_from_slice(&self.next_v_id.to_le_bytes());
+        meta[24..32].copy_from_slice(&self.next_i_id.to_le_bytes());
+        self.pager.set_user_meta(meta);
+    }
+
+    fn reload_meta(&mut self) {
+        let meta = *self.pager.user_meta();
+        self.video_store =
+            BTree::load(u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes")) as PageId);
+        self.key_frames =
+            BTree::load(u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes")) as PageId);
+        self.kf_by_video =
+            BTree::load(u32::from_le_bytes(meta[8..12].try_into().expect("4 bytes")) as PageId);
+        self.next_v_id = u64::from_le_bytes(meta[16..24].try_into().expect("8 bytes"));
+        self.next_i_id = u64::from_le_bytes(meta[24..32].try_into().expect("8 bytes"));
+    }
+
+    fn finish_op<T>(&mut self, result: Result<T>) -> Result<T> {
+        if !self.autocommit {
+            return result;
+        }
+        match result {
+            Ok(v) => {
+                self.save_meta();
+                self.pager.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.pager.abort()?;
+                self.reload_meta();
+                Err(e)
+            }
+        }
+    }
+
+    /// Run several mutations as one atomic unit: one commit on success,
+    /// full rollback on error.
+    pub fn run_batch<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        if !self.autocommit {
+            return Err(StorageError::InvalidState("nested run_batch".into()));
+        }
+        self.autocommit = false;
+        let result = f(self);
+        self.autocommit = true;
+        self.finish_op(result)
+    }
+
+    // ---- row spill helpers -------------------------------------------
+
+    fn store_row(&mut self, tree: &mut BTree, key: u64, row: &[u8], overwrite: bool) -> Result<()> {
+        // tag + payload must fit a cell, else spill to the heap.
+        let value = if row.len() < MAX_VALUE_LEN {
+            let mut v = Vec::with_capacity(row.len() + 1);
+            v.push(TAG_INLINE);
+            v.extend_from_slice(row);
+            v
+        } else {
+            let blob = write_blob(&mut self.pager, row)?;
+            let mut v = Vec::with_capacity(13);
+            v.push(TAG_SPILLED);
+            v.extend_from_slice(&blob.head.to_le_bytes());
+            v.extend_from_slice(&blob.len.to_le_bytes());
+            v
+        };
+        if overwrite {
+            tree.upsert(&mut self.pager, key, &value)
+        } else {
+            tree.insert(&mut self.pager, key, &value)
+        }
+    }
+
+    fn load_row_value(&mut self, value: &[u8]) -> Result<Vec<u8>> {
+        match value.first() {
+            Some(&TAG_INLINE) => Ok(value[1..].to_vec()),
+            Some(&TAG_SPILLED) => {
+                if value.len() != 13 {
+                    return Err(StorageError::Corruption("bad spilled row ref".into()));
+                }
+                let head = u32::from_le_bytes(value[1..5].try_into().expect("4 bytes"));
+                let len = u64::from_le_bytes(value[5..13].try_into().expect("8 bytes"));
+                read_blob(&mut self.pager, BlobRef { head, len })
+            }
+            _ => Err(StorageError::Corruption("empty row value".into())),
+        }
+    }
+
+    fn free_row_value(&mut self, value: &[u8]) -> Result<()> {
+        if value.first() == Some(&TAG_SPILLED) && value.len() == 13 {
+            let head = u32::from_le_bytes(value[1..5].try_into().expect("4 bytes"));
+            let len = u64::from_le_bytes(value[5..13].try_into().expect("8 bytes"));
+            free_blob(&mut self.pager, BlobRef { head, len })?;
+        }
+        Ok(())
+    }
+
+    // ---- VIDEO_STORE --------------------------------------------------
+
+    /// Insert a video; returns the assigned `v_id`.
+    pub fn insert_video(&mut self, record: &VideoRecord) -> Result<u64> {
+        let op = |db: &mut Self| {
+            let v_id = db.next_v_id;
+            db.next_v_id += 1;
+            let video = write_blob(&mut db.pager, &record.video)?;
+            let stream = write_blob(&mut db.pager, &record.stream)?;
+            let full = VideoRowFull {
+                row: VideoRow { v_id, video, stream, dostore: record.dostore },
+                v_name: record.v_name.clone(),
+            };
+            let buf = encode_video_row(&full);
+            let mut tree = db.video_store;
+            db.store_row(&mut tree, v_id, &buf, false)?;
+            db.video_store = tree;
+            Ok(v_id)
+        };
+        let result = op(self);
+        self.finish_op(result)
+    }
+
+    /// Fetch a video row (metadata + blob refs).
+    pub fn get_video(&mut self, v_id: u64) -> Result<VideoRowFull> {
+        let value = self
+            .video_store
+            .get(&mut self.pager, v_id)?
+            .ok_or(StorageError::NotFound(v_id))?;
+        let row = self.load_row_value(&value)?;
+        decode_video_row(&row)
+    }
+
+    /// Materialise the video container bytes of a row.
+    pub fn read_video_bytes(&mut self, row: &VideoRow) -> Result<Vec<u8>> {
+        read_blob(&mut self.pager, row.video)
+    }
+
+    /// Materialise the key-frame stream bytes of a row.
+    pub fn read_stream_bytes(&mut self, row: &VideoRow) -> Result<Vec<u8>> {
+        read_blob(&mut self.pager, row.stream)
+    }
+
+    /// Rename a video (the administrator's *update* operation).
+    pub fn rename_video(&mut self, v_id: u64, new_name: &str) -> Result<()> {
+        let op = |db: &mut Self| {
+            let mut full = db.get_video(v_id)?;
+            full.v_name = new_name.to_string();
+            let value = db
+                .video_store
+                .get(&mut db.pager, v_id)?
+                .ok_or(StorageError::NotFound(v_id))?;
+            db.free_row_value(&value)?;
+            let buf = encode_video_row(&full);
+            let mut tree = db.video_store;
+            db.store_row(&mut tree, v_id, &buf, true)?;
+            db.video_store = tree;
+            Ok(())
+        };
+        let result = op(self);
+        self.finish_op(result)
+    }
+
+    /// Delete a video, its blobs and (cascade) all its key frames.
+    pub fn delete_video(&mut self, v_id: u64) -> Result<()> {
+        let op = |db: &mut Self| {
+            let full = db.get_video(v_id)?;
+            // Cascade to key frames first.
+            let kf_ids = db.key_frames_of_video(v_id)?;
+            for i_id in kf_ids {
+                db.delete_key_frame_inner(i_id)?;
+            }
+            free_blob(&mut db.pager, full.row.video)?;
+            free_blob(&mut db.pager, full.row.stream)?;
+            let value = db
+                .video_store
+                .get(&mut db.pager, v_id)?
+                .ok_or(StorageError::NotFound(v_id))?;
+            db.free_row_value(&value)?;
+            let mut tree = db.video_store;
+            tree.delete(&mut db.pager, v_id)?;
+            db.video_store = tree;
+            Ok(())
+        };
+        let result = op(self);
+        self.finish_op(result)
+    }
+
+    /// List `(v_id, v_name, dostore)` of every stored video.
+    pub fn list_videos(&mut self) -> Result<Vec<(u64, String, u64)>> {
+        let tree = self.video_store;
+        let mut values = Vec::new();
+        tree.scan_from(&mut self.pager, 0, |_, v| {
+            values.push(v.to_vec());
+            true
+        })?;
+        let mut out = Vec::with_capacity(values.len());
+        for value in values {
+            let row = self.load_row_value(&value)?;
+            let full = decode_video_row(&row)?;
+            out.push((full.row.v_id, full.v_name, full.row.dostore));
+        }
+        Ok(out)
+    }
+
+    /// Number of stored videos.
+    pub fn video_count(&mut self) -> Result<usize> {
+        self.video_store.len(&mut self.pager)
+    }
+
+    // ---- KEY_FRAMES ----------------------------------------------------
+
+    fn composite(v_id: u64, i_id: u64) -> Result<u64> {
+        if v_id >= (1 << 32) || i_id >= (1 << 32) {
+            return Err(StorageError::InvalidState(format!(
+                "ids exceed 32 bits: v_id={v_id}, i_id={i_id}"
+            )));
+        }
+        Ok((v_id << 32) | i_id)
+    }
+
+    /// Insert a key frame; returns the assigned `i_id`.
+    pub fn insert_key_frame(&mut self, record: &KeyFrameRecord) -> Result<u64> {
+        let op = |db: &mut Self| {
+            if !db.video_store.contains(&mut db.pager, record.v_id)? {
+                return Err(StorageError::NotFound(record.v_id));
+            }
+            let i_id = db.next_i_id;
+            db.next_i_id += 1;
+            let image = write_blob(&mut db.pager, &record.image)?;
+            let row = KeyFrameRow {
+                i_id,
+                i_name: record.i_name.clone(),
+                image,
+                min: record.min,
+                max: record.max,
+                sch: record.sch.clone(),
+                glcm: record.glcm.clone(),
+                gabor: record.gabor.clone(),
+                tamura: record.tamura.clone(),
+                acc: record.acc.clone(),
+                naive: record.naive.clone(),
+                srg: record.srg.clone(),
+                majorregions: record.majorregions,
+                v_id: record.v_id,
+            };
+            let buf = encode_key_frame_row(&row);
+            let mut tree = db.key_frames;
+            db.store_row(&mut tree, i_id, &buf, false)?;
+            db.key_frames = tree;
+            let mut sec = db.kf_by_video;
+            sec.insert(&mut db.pager, Self::composite(record.v_id, i_id)?, &[])?;
+            db.kf_by_video = sec;
+            Ok(i_id)
+        };
+        let result = op(self);
+        self.finish_op(result)
+    }
+
+    /// Fetch a key-frame row.
+    pub fn get_key_frame(&mut self, i_id: u64) -> Result<KeyFrameRow> {
+        let value = self
+            .key_frames
+            .get(&mut self.pager, i_id)?
+            .ok_or(StorageError::NotFound(i_id))?;
+        let row = self.load_row_value(&value)?;
+        decode_key_frame_row(&row)
+    }
+
+    /// Materialise the image bytes of a key-frame row.
+    pub fn read_image_bytes(&mut self, row: &KeyFrameRow) -> Result<Vec<u8>> {
+        read_blob(&mut self.pager, row.image)
+    }
+
+    /// The `i_id`s of all key frames belonging to a video, via the
+    /// secondary index.
+    pub fn key_frames_of_video(&mut self, v_id: u64) -> Result<Vec<u64>> {
+        let start = Self::composite(v_id, 0)?;
+        let tree = self.kf_by_video;
+        let mut out = Vec::new();
+        tree.scan_from(&mut self.pager, start, |k, _| {
+            if k >> 32 != v_id {
+                return false;
+            }
+            out.push(k & 0xFFFF_FFFF);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Visit every key-frame row (ascending `i_id`).
+    pub fn scan_key_frames(&mut self, mut visit: impl FnMut(&KeyFrameRow) -> bool) -> Result<()> {
+        let tree = self.key_frames;
+        let mut values = Vec::new();
+        tree.scan_from(&mut self.pager, 0, |_, v| {
+            values.push(v.to_vec());
+            true
+        })?;
+        for value in values {
+            let row = self.load_row_value(&value)?;
+            let row = decode_key_frame_row(&row)?;
+            if !visit(&row) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn delete_key_frame_inner(&mut self, i_id: u64) -> Result<()> {
+        let row = self.get_key_frame(i_id)?;
+        free_blob(&mut self.pager, row.image)?;
+        let value = self
+            .key_frames
+            .get(&mut self.pager, i_id)?
+            .ok_or(StorageError::NotFound(i_id))?;
+        self.free_row_value(&value)?;
+        let mut tree = self.key_frames;
+        tree.delete(&mut self.pager, i_id)?;
+        self.key_frames = tree;
+        let mut sec = self.kf_by_video;
+        sec.delete(&mut self.pager, Self::composite(row.v_id, i_id)?)?;
+        self.kf_by_video = sec;
+        Ok(())
+    }
+
+    /// Delete one key frame.
+    pub fn delete_key_frame(&mut self, i_id: u64) -> Result<()> {
+        let result = self.delete_key_frame_inner(i_id);
+        self.finish_op(result)
+    }
+
+    /// Number of stored key frames.
+    pub fn key_frame_count(&mut self) -> Result<usize> {
+        self.key_frames.len(&mut self.pager)
+    }
+
+    /// Total pages in the data file (diagnostics).
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Aggregate statistics (diagnostics, vacuum decisions).
+    pub fn stats(&mut self) -> Result<DbStats> {
+        Ok(DbStats {
+            pages: self.pager.page_count(),
+            videos: self.video_count()?,
+            key_frames: self.key_frame_count()?,
+            next_v_id: self.next_v_id,
+            next_i_id: self.next_i_id,
+        })
+    }
+
+    /// Insert a video under an explicit id (vacuum/restore path).
+    fn insert_video_preserving_id(&mut self, v_id: u64, full: &VideoRowFull, video: &[u8], stream: &[u8]) -> Result<()> {
+        let video_ref = write_blob(&mut self.pager, video)?;
+        let stream_ref = write_blob(&mut self.pager, stream)?;
+        let row = VideoRowFull {
+            row: VideoRow { v_id, video: video_ref, stream: stream_ref, dostore: full.row.dostore },
+            v_name: full.v_name.clone(),
+        };
+        let buf = encode_video_row(&row);
+        let mut tree = self.video_store;
+        self.store_row(&mut tree, v_id, &buf, false)?;
+        self.video_store = tree;
+        Ok(())
+    }
+
+    /// Insert a key frame under an explicit id (vacuum/restore path).
+    fn insert_key_frame_preserving_id(&mut self, row: &KeyFrameRow, image: &[u8]) -> Result<()> {
+        let image_ref = write_blob(&mut self.pager, image)?;
+        let mut copy = row.clone();
+        copy.image = image_ref;
+        let buf = encode_key_frame_row(&copy);
+        let mut tree = self.key_frames;
+        self.store_row(&mut tree, copy.i_id, &buf, false)?;
+        self.key_frames = tree;
+        let mut sec = self.kf_by_video;
+        sec.insert(&mut self.pager, Self::composite(copy.v_id, copy.i_id)?, &[])?;
+        self.kf_by_video = sec;
+        Ok(())
+    }
+
+    /// Rewrite all live data into a fresh database on new backends,
+    /// preserving every id and counter. Reclaims the space that lazy
+    /// B+-tree deletion and the page free list retain in the old file:
+    /// after heavy delete churn the new file holds only live pages.
+    ///
+    /// For on-disk databases: vacuum into a temporary directory, then
+    /// swap the directories and reopen.
+    pub fn vacuum_into<B2: Backend>(&mut self, data: B2, wal: B2) -> Result<CbvrDatabase<B2>> {
+        let mut fresh = CbvrDatabase::open(data, wal)?;
+        // Collect live rows first (scan borrows self mutably).
+        let videos = self.list_videos()?;
+        let next_v_id = self.next_v_id;
+        let next_i_id = self.next_i_id;
+
+        fresh.autocommit = false;
+        let copy = |src: &mut Self, dst: &mut CbvrDatabase<B2>| -> Result<()> {
+            for (v_id, _, _) in &videos {
+                let full = src.get_video(*v_id)?;
+                let video_bytes = src.read_video_bytes(&full.row)?;
+                let stream_bytes = src.read_stream_bytes(&full.row)?;
+                dst.insert_video_preserving_id(*v_id, &full, &video_bytes, &stream_bytes)?;
+                for i_id in src.key_frames_of_video(*v_id)? {
+                    let row = src.get_key_frame(i_id)?;
+                    let image = src.read_image_bytes(&row)?;
+                    dst.insert_key_frame_preserving_id(&row, &image)?;
+                }
+            }
+            dst.next_v_id = next_v_id;
+            dst.next_i_id = next_i_id;
+            Ok(())
+        };
+        let result = copy(self, &mut fresh);
+        fresh.autocommit = true;
+        match result {
+            Ok(()) => {
+                fresh.save_meta();
+                fresh.pager.commit()?;
+                Ok(fresh)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Aggregate database statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DbStats {
+    /// Pages in the data file (including meta and free pages).
+    pub pages: u32,
+    /// Live `VIDEO_STORE` rows.
+    pub videos: usize,
+    /// Live `KEY_FRAMES` rows.
+    pub key_frames: usize,
+    /// Next video id to be assigned.
+    pub next_v_id: u64,
+    /// Next key-frame id to be assigned.
+    pub next_i_id: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn video_record(name: &str, payload: usize) -> VideoRecord {
+        VideoRecord {
+            v_name: name.into(),
+            video: (0..payload).map(|i| (i % 256) as u8).collect(),
+            stream: vec![1, 2, 3],
+            dostore: 1_750_000_000,
+        }
+    }
+
+    fn kf_record(v_id: u64, name: &str) -> KeyFrameRecord {
+        KeyFrameRecord {
+            i_name: name.into(),
+            image: vec![9u8; 500],
+            min: 0,
+            max: 63,
+            sch: "RGB 256 1".into(),
+            glcm: "GLCM 1 2 3 4 5 6".into(),
+            gabor: "gabor 60 0".into(),
+            tamura: "Tamura 18 0 0".into(),
+            acc: "ACC 4 0".into(),
+            naive: "NaiveVector".into(),
+            srg: "SRG 1 0 1".into(),
+            majorregions: 2,
+            v_id,
+        }
+    }
+
+    #[test]
+    fn insert_and_fetch_video() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let id = db.insert_video(&video_record("a.vsc", 10_000)).unwrap();
+        assert_eq!(id, 1);
+        let full = db.get_video(id).unwrap();
+        assert_eq!(full.v_name, "a.vsc");
+        assert_eq!(full.row.dostore, 1_750_000_000);
+        let bytes = db.read_video_bytes(&full.row).unwrap();
+        assert_eq!(bytes.len(), 10_000);
+        assert_eq!(bytes[255], 255);
+        assert_eq!(db.read_stream_bytes(&full.row).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ids_are_sequential_and_stable_across_reopen() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        {
+            let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+            assert_eq!(db.insert_video(&video_record("one", 10)).unwrap(), 1);
+            assert_eq!(db.insert_video(&video_record("two", 10)).unwrap(), 2);
+        }
+        let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+        assert_eq!(db.insert_video(&video_record("three", 10)).unwrap(), 3);
+        assert_eq!(db.video_count().unwrap(), 3);
+        assert_eq!(db.get_video(2).unwrap().v_name, "two");
+    }
+
+    #[test]
+    fn rename_video_persists() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let id = db.insert_video(&video_record("old", 100)).unwrap();
+        db.rename_video(id, "new").unwrap();
+        assert_eq!(db.get_video(id).unwrap().v_name, "new");
+        // Blob content untouched by rename.
+        let full = db.get_video(id).unwrap();
+        assert_eq!(db.read_video_bytes(&full.row).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn missing_keys_error() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        assert!(matches!(db.get_video(99), Err(StorageError::NotFound(99))));
+        assert!(matches!(db.get_key_frame(99), Err(StorageError::NotFound(99))));
+        assert!(matches!(db.rename_video(1, "x"), Err(StorageError::NotFound(1))));
+        assert!(matches!(db.delete_video(1), Err(StorageError::NotFound(1))));
+        // Key frame for a video that does not exist.
+        assert!(matches!(db.insert_key_frame(&kf_record(5, "kf")), Err(StorageError::NotFound(5))));
+    }
+
+    #[test]
+    fn key_frames_with_secondary_index() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let v1 = db.insert_video(&video_record("v1", 10)).unwrap();
+        let v2 = db.insert_video(&video_record("v2", 10)).unwrap();
+        let mut v1_ids = Vec::new();
+        for i in 0..5 {
+            v1_ids.push(db.insert_key_frame(&kf_record(v1, &format!("v1_kf_{i}"))).unwrap());
+        }
+        let k2 = db.insert_key_frame(&kf_record(v2, "v2_kf_0")).unwrap();
+        assert_eq!(db.key_frames_of_video(v1).unwrap(), v1_ids);
+        assert_eq!(db.key_frames_of_video(v2).unwrap(), vec![k2]);
+        assert!(db.key_frames_of_video(77).unwrap().is_empty());
+        let row = db.get_key_frame(v1_ids[2]).unwrap();
+        assert_eq!(row.i_name, "v1_kf_2");
+        assert_eq!(row.v_id, v1);
+        assert_eq!(db.read_image_bytes(&row).unwrap(), vec![9u8; 500]);
+    }
+
+    #[test]
+    fn oversized_rows_spill_to_heap() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let v = db.insert_video(&video_record("v", 10)).unwrap();
+        let mut record = kf_record(v, "big");
+        record.acc = "ACC 4 ".to_string() + &"0.123456789012345 ".repeat(1024); // ~18 KB
+        let i_id = db.insert_key_frame(&record).unwrap();
+        let row = db.get_key_frame(i_id).unwrap();
+        assert_eq!(row.acc, record.acc);
+    }
+
+    #[test]
+    fn delete_video_cascades() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let v = db.insert_video(&video_record("v", 5_000)).unwrap();
+        for i in 0..4 {
+            db.insert_key_frame(&kf_record(v, &format!("kf{i}"))).unwrap();
+        }
+        assert_eq!(db.key_frame_count().unwrap(), 4);
+        db.delete_video(v).unwrap();
+        assert_eq!(db.video_count().unwrap(), 0);
+        assert_eq!(db.key_frame_count().unwrap(), 0);
+        assert!(db.key_frames_of_video(v).unwrap().is_empty());
+    }
+
+    #[test]
+    fn deleted_pages_are_reused() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let v = db.insert_video(&video_record("v", 50_000)).unwrap();
+        let pages_after_insert = db.page_count();
+        db.delete_video(v).unwrap();
+        let _v2 = db.insert_video(&video_record("v2", 50_000)).unwrap();
+        assert!(
+            db.page_count() <= pages_after_insert + 2,
+            "freed pages should be recycled: {} vs {}",
+            db.page_count(),
+            pages_after_insert
+        );
+    }
+
+    #[test]
+    fn run_batch_commits_atomically() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        {
+            let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+            db.run_batch(|db| {
+                let v = db.insert_video(&video_record("batched", 100))?;
+                for i in 0..3 {
+                    db.insert_key_frame(&kf_record(v, &format!("kf{i}")))?;
+                }
+                Ok(v)
+            })
+            .unwrap();
+        }
+        let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+        assert_eq!(db.video_count().unwrap(), 1);
+        assert_eq!(db.key_frame_count().unwrap(), 3);
+    }
+
+    #[test]
+    fn run_batch_rolls_back_on_error() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let result: Result<()> = db.run_batch(|db| {
+            db.insert_video(&video_record("doomed", 100))?;
+            Err(StorageError::InvalidState("user abort".into()))
+        });
+        assert!(result.is_err());
+        assert_eq!(db.video_count().unwrap(), 0, "batch must roll back");
+        // The id counter also rolled back.
+        assert_eq!(db.insert_video(&video_record("next", 10)).unwrap(), 1);
+    }
+
+    #[test]
+    fn crash_mid_batch_loses_whole_batch() {
+        let (mut db, faults, data, wal) = CbvrDatabase::in_memory_with_faults().unwrap();
+        db.insert_video(&video_record("safe", 100)).unwrap();
+        // Crash during the commit's data-file propagation.
+        let result: Result<u64> = db.run_batch(|db| {
+            let v = db.insert_video(&video_record("doomed", 30_000))?;
+            faults.fail_after_writes(0);
+            Ok(v)
+        });
+        assert!(result.is_err(), "commit must fail");
+        drop(db);
+        faults.heal();
+        // Recovery applies the WAL (which was fully written) or discards a
+        // torn record — either way the database is consistent.
+        let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+        let videos = db.list_videos().unwrap();
+        assert!(!videos.is_empty(), "pre-crash commit must survive");
+        assert!(videos.iter().any(|(_, name, _)| name == "safe"));
+        // If the doomed batch's WAL record committed, the video is whole.
+        for (v_id, _, _) in &videos {
+            let full = db.get_video(*v_id).unwrap();
+            db.read_video_bytes(&full.row).unwrap();
+        }
+    }
+
+    #[test]
+    fn list_videos_in_id_order() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        for name in ["c", "a", "b"] {
+            db.insert_video(&video_record(name, 10)).unwrap();
+        }
+        let listed = db.list_videos().unwrap();
+        assert_eq!(listed.iter().map(|(id, _, _)| *id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(listed[0].1, "c");
+    }
+}
+
+#[cfg(test)]
+mod vacuum_tests {
+    use super::*;
+
+    fn video_record(name: &str, payload: usize) -> VideoRecord {
+        VideoRecord {
+            v_name: name.into(),
+            video: (0..payload).map(|i| (i % 256) as u8).collect(),
+            stream: vec![7, 8, 9],
+            dostore: 1_750_000_000,
+        }
+    }
+
+    fn kf_record(v_id: u64) -> KeyFrameRecord {
+        KeyFrameRecord {
+            i_name: format!("v{v_id}_kf"),
+            image: vec![3u8; 2000],
+            min: 0,
+            max: 127,
+            sch: "RGB 256 1".into(),
+            glcm: "GLCM 1 2 3 4 5 6".into(),
+            gabor: "gabor 60 0".into(),
+            tamura: "Tamura 18 0 0".into(),
+            acc: "ACC 4 0".into(),
+            naive: "NaiveVector".into(),
+            srg: "SRG 1 0 1".into(),
+            majorregions: 1,
+            v_id,
+        }
+    }
+
+    #[test]
+    fn vacuum_preserves_all_live_data_and_ids() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let v1 = db.insert_video(&video_record("keep1", 10_000)).unwrap();
+        let v2 = db.insert_video(&video_record("gone", 10_000)).unwrap();
+        let v3 = db.insert_video(&video_record("keep3", 10_000)).unwrap();
+        let k1 = db.insert_key_frame(&kf_record(v1)).unwrap();
+        db.insert_key_frame(&kf_record(v2)).unwrap();
+        let k3 = db.insert_key_frame(&kf_record(v3)).unwrap();
+        db.delete_video(v2).unwrap();
+
+        let mut fresh = db.vacuum_into(MemBackend::new(), MemBackend::new()).unwrap();
+        assert_eq!(fresh.video_count().unwrap(), 2);
+        assert_eq!(fresh.key_frame_count().unwrap(), 2);
+        // Ids are preserved exactly.
+        assert_eq!(fresh.get_video(v1).unwrap().v_name, "keep1");
+        assert_eq!(fresh.get_video(v3).unwrap().v_name, "keep3");
+        assert!(fresh.get_video(v2).is_err());
+        assert_eq!(fresh.get_key_frame(k1).unwrap().v_id, v1);
+        assert_eq!(fresh.key_frames_of_video(v3).unwrap(), vec![k3]);
+        // Blob contents intact.
+        let full = fresh.get_video(v1).unwrap();
+        assert_eq!(fresh.read_video_bytes(&full.row).unwrap().len(), 10_000);
+        // Counters continue from where the old database left off.
+        let v4 = fresh.insert_video(&video_record("new", 10)).unwrap();
+        assert_eq!(v4, 4);
+        let stats = fresh.stats().unwrap();
+        assert_eq!(stats.videos, 3);
+        assert_eq!(stats.next_v_id, 5);
+    }
+
+    #[test]
+    fn vacuum_shrinks_churned_database() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        // Heavy churn: insert and delete large videos repeatedly.
+        let keeper = db.insert_video(&video_record("keeper", 50_000)).unwrap();
+        for round in 0..10 {
+            let v = db.insert_video(&video_record(&format!("churn{round}"), 200_000)).unwrap();
+            db.delete_video(v).unwrap();
+        }
+        let before = db.page_count();
+        let mut fresh = db.vacuum_into(MemBackend::new(), MemBackend::new()).unwrap();
+        let after = fresh.page_count();
+        assert!(after < before / 2, "vacuum should shrink: {before} -> {after}");
+        assert_eq!(fresh.get_video(keeper).unwrap().v_name, "keeper");
+    }
+
+    #[test]
+    fn vacuumed_database_survives_reopen() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        {
+            let mut db = CbvrDatabase::in_memory().unwrap();
+            let v = db.insert_video(&video_record("v", 5_000)).unwrap();
+            db.insert_key_frame(&kf_record(v)).unwrap();
+            db.vacuum_into(data.share(), wal.share()).unwrap();
+        }
+        let mut reopened = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+        assert_eq!(reopened.video_count().unwrap(), 1);
+        assert_eq!(reopened.key_frame_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let s0 = db.stats().unwrap();
+        assert_eq!(s0.videos, 0);
+        assert_eq!(s0.key_frames, 0);
+        let v = db.insert_video(&video_record("v", 100)).unwrap();
+        db.insert_key_frame(&kf_record(v)).unwrap();
+        let s1 = db.stats().unwrap();
+        assert_eq!(s1.videos, 1);
+        assert_eq!(s1.key_frames, 1);
+        assert!(s1.pages > s0.pages);
+        assert_eq!(s1.next_v_id, 2);
+        assert_eq!(s1.next_i_id, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+/// Errors produced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure (or injected fault).
+    Io(std::io::Error),
+    /// On-disk structure is corrupt (bad magic, checksum, page type...).
+    Corruption(String),
+    /// A record with the given key does not exist.
+    NotFound(u64),
+    /// A record with the given key already exists.
+    Duplicate(u64),
+    /// A value or row exceeds what a node/page can hold.
+    TooLarge {
+        /// What overflowed (e.g. "btree value").
+        what: &'static str,
+        /// Observed size in bytes.
+        size: usize,
+        /// The enforced limit in bytes.
+        limit: usize,
+    },
+    /// The engine was asked to do something inconsistent (e.g. commit with
+    /// no open transaction).
+    InvalidState(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+            StorageError::Corruption(m) => write!(f, "corruption detected: {m}"),
+            StorageError::NotFound(k) => write!(f, "key {k} not found"),
+            StorageError::Duplicate(k) => write!(f, "key {k} already exists"),
+            StorageError::TooLarge { what, size, limit } => {
+                write!(f, "{what} of {size} bytes exceeds limit {limit}")
+            }
+            StorageError::InvalidState(m) => write!(f, "invalid engine state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StorageError::NotFound(42).to_string().contains("42"));
+        assert!(StorageError::Duplicate(7).to_string().contains("7"));
+        let e = StorageError::TooLarge { what: "row", size: 9000, limit: 1024 };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: StorageError = std::io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

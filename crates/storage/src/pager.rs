@@ -1,0 +1,470 @@
+//! Page cache, allocation and the commit protocol.
+//!
+//! The pager owns the data file and the WAL and enforces the engine's
+//! durability discipline (no-steal / force):
+//!
+//! - mutations land only in the cache (dirty pages never reach the data
+//!   file before commit);
+//! - [`Pager::commit`] appends all dirty page images to the WAL (fsync),
+//!   then writes them to the data file (fsync), then truncates the WAL;
+//! - [`Pager::abort`] simply drops the dirty pages — the data file still
+//!   holds the last committed state;
+//! - [`Pager::open`] replays any committed WAL tail onto the data file
+//!   before anything else, making a crash between the two fsyncs
+//!   invisible.
+//!
+//! Page 0 is the pager's meta page: magic, page count, free-list head and
+//! a 64-byte user area the database layer uses for table roots and id
+//! counters.
+
+use crate::backend::Backend;
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
+use crate::wal::Wal;
+use std::collections::{HashMap, VecDeque};
+
+const META_MAGIC: u32 = 0x4342_5652; // "CBVR"
+const META_VERSION: u32 = 1;
+/// Size of the user-meta area on page 0.
+pub const USER_META_LEN: usize = 64;
+const USER_META_OFFSET: usize = 16;
+
+/// Default cache capacity in pages (4 MiB).
+pub const DEFAULT_CACHE_PAGES: usize = 1024;
+
+struct CacheEntry {
+    page: Page,
+    dirty: bool,
+}
+
+/// The pager.
+pub struct Pager<B: Backend> {
+    data: B,
+    wal: Wal<B>,
+    cache: HashMap<PageId, CacheEntry>,
+    lru: VecDeque<PageId>,
+    capacity: usize,
+    // Meta state (mirrors page 0).
+    page_count: u32,
+    free_head: PageId,
+    user_meta: [u8; USER_META_LEN],
+    meta_dirty: bool,
+}
+
+impl<B: Backend> Pager<B> {
+    /// Open (or create) a paged store, running WAL recovery first.
+    pub fn open(mut data: B, wal_backend: B, capacity: usize) -> Result<Pager<B>> {
+        let mut wal = Wal::new(wal_backend);
+
+        // Recovery: push committed images into the data file.
+        let images = wal.recover()?;
+        if !images.is_empty() {
+            for (id, page) in &images {
+                data.write_at(*id as u64 * PAGE_SIZE as u64, page.as_bytes())?;
+            }
+            data.sync()?;
+            wal.reset()?;
+        }
+
+        let mut pager = Pager {
+            data,
+            wal,
+            cache: HashMap::new(),
+            lru: VecDeque::new(),
+            capacity: capacity.max(8),
+            page_count: 1,
+            free_head: NO_PAGE,
+            user_meta: [0u8; USER_META_LEN],
+            meta_dirty: false,
+        };
+
+        if pager.data.is_empty()? {
+            // Fresh store: write the initial meta page durably.
+            pager.meta_dirty = true;
+            pager.commit()?;
+        } else {
+            pager.load_meta()?;
+        }
+        Ok(pager)
+    }
+
+    fn load_meta(&mut self) -> Result<()> {
+        let mut bytes = vec![0u8; PAGE_SIZE];
+        self.data.read_at(0, &mut bytes)?;
+        let page = Page::from_bytes(&bytes)?;
+        let mut r = page.reader(0);
+        let magic = r.u32()?;
+        if magic != META_MAGIC {
+            return Err(StorageError::Corruption(format!("bad meta magic {magic:#x}")));
+        }
+        let version = r.u32()?;
+        if version != META_VERSION {
+            return Err(StorageError::Corruption(format!("unsupported version {version}")));
+        }
+        self.page_count = r.u32()?;
+        self.free_head = r.u32()?;
+        self.user_meta.copy_from_slice(r.bytes(USER_META_LEN)?);
+        self.meta_dirty = false;
+        Ok(())
+    }
+
+    fn meta_page(&self) -> Page {
+        let mut page = Page::new();
+        let mut w = page.writer(0);
+        w.u32(META_MAGIC).expect("meta fits");
+        w.u32(META_VERSION).expect("meta fits");
+        w.u32(self.page_count).expect("meta fits");
+        w.u32(self.free_head).expect("meta fits");
+        debug_assert_eq!(w.position(), USER_META_OFFSET);
+        w.bytes(&self.user_meta).expect("meta fits");
+        page
+    }
+
+    /// Total pages, including the meta page.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// The 64-byte user-meta area (table roots, id counters).
+    pub fn user_meta(&self) -> &[u8; USER_META_LEN] {
+        &self.user_meta
+    }
+
+    /// Replace the user-meta area (takes effect at the next commit).
+    pub fn set_user_meta(&mut self, meta: [u8; USER_META_LEN]) {
+        if meta != self.user_meta {
+            self.user_meta = meta;
+            self.meta_dirty = true;
+        }
+    }
+
+    fn touch(&mut self, id: PageId) {
+        // Cheap approximate LRU: push on access, dedup lazily on evict.
+        self.lru.push_back(id);
+        if self.lru.len() > self.capacity * 4 {
+            self.compact_lru();
+        }
+    }
+
+    fn compact_lru(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        let mut fresh = VecDeque::with_capacity(self.cache.len());
+        // Keep only the most recent mention of each page.
+        for &id in self.lru.iter().rev() {
+            if seen.insert(id) {
+                fresh.push_front(id);
+            }
+        }
+        self.lru = fresh;
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.cache.len() > self.capacity {
+            self.compact_lru();
+            // Find the least-recently-used clean page.
+            let victim = self
+                .lru
+                .iter()
+                .find(|id| self.cache.get(id).is_some_and(|e| !e.dirty))
+                .copied();
+            match victim {
+                Some(id) => {
+                    self.cache.remove(&id);
+                    self.lru.retain(|&x| x != id);
+                }
+                None => break, // everything dirty: allow overshoot until commit
+            }
+        }
+    }
+
+    /// Read a page (through the cache).
+    pub fn read_page(&mut self, id: PageId) -> Result<Page> {
+        if id == 0 || id >= self.page_count {
+            return Err(StorageError::Corruption(format!(
+                "page {id} out of range (count {})",
+                self.page_count
+            )));
+        }
+        if let Some(entry) = self.cache.get(&id) {
+            let page = entry.page.clone();
+            self.touch(id);
+            return Ok(page);
+        }
+        let mut bytes = vec![0u8; PAGE_SIZE];
+        self.data.read_at(id as u64 * PAGE_SIZE as u64, &mut bytes)?;
+        let page = Page::from_bytes(&bytes)?;
+        self.cache.insert(id, CacheEntry { page: page.clone(), dirty: false });
+        self.touch(id);
+        self.evict_if_needed();
+        Ok(page)
+    }
+
+    /// Stage a page write (visible to subsequent reads, durable at commit).
+    pub fn write_page(&mut self, id: PageId, page: Page) -> Result<()> {
+        if id == 0 || id >= self.page_count {
+            return Err(StorageError::Corruption(format!(
+                "page {id} out of range (count {})",
+                self.page_count
+            )));
+        }
+        self.cache.insert(id, CacheEntry { page, dirty: true });
+        self.touch(id);
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    /// Allocate a page: reuse the free list, else grow the file.
+    pub fn allocate(&mut self) -> Result<PageId> {
+        if self.free_head != NO_PAGE {
+            let id = self.free_head;
+            let page = self.read_page(id)?;
+            self.free_head = page.reader(0).u32()?;
+            self.meta_dirty = true;
+            // Hand back a zeroed page.
+            self.write_page(id, Page::new())?;
+            return Ok(id);
+        }
+        let id = self.page_count;
+        self.page_count += 1;
+        self.meta_dirty = true;
+        self.write_page(id, Page::new())?;
+        Ok(id)
+    }
+
+    /// Return a page to the free list.
+    pub fn free(&mut self, id: PageId) -> Result<()> {
+        if id == 0 || id >= self.page_count {
+            return Err(StorageError::Corruption(format!("cannot free page {id}")));
+        }
+        let mut page = Page::new();
+        page.writer(0).u32(self.free_head)?;
+        self.write_page(id, page)?;
+        self.free_head = id;
+        self.meta_dirty = true;
+        Ok(())
+    }
+
+    /// Number of dirty pages staged for the next commit.
+    pub fn dirty_count(&self) -> usize {
+        self.cache.values().filter(|e| e.dirty).count() + usize::from(self.meta_dirty)
+    }
+
+    /// Durably commit all staged writes: WAL append+fsync → data
+    /// write+fsync → WAL reset.
+    pub fn commit(&mut self) -> Result<()> {
+        let mut dirty: Vec<(PageId, Page)> = self
+            .cache
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(&id, e)| (id, e.page.clone()))
+            .collect();
+        dirty.sort_by_key(|(id, _)| *id);
+        let meta = if self.meta_dirty { Some(self.meta_page()) } else { None };
+        if dirty.is_empty() && meta.is_none() {
+            return Ok(());
+        }
+
+        let mut images: Vec<(PageId, &Page)> = Vec::with_capacity(dirty.len() + 1);
+        if let Some(m) = &meta {
+            images.push((0, m));
+        }
+        for (id, p) in &dirty {
+            images.push((*id, p));
+        }
+        self.wal.append_commit(&images)?;
+
+        for (id, page) in &images {
+            self.data.write_at(*id as u64 * PAGE_SIZE as u64, page.as_bytes())?;
+        }
+        self.data.sync()?;
+        self.wal.reset()?;
+
+        for (_, entry) in self.cache.iter_mut() {
+            entry.dirty = false;
+        }
+        self.meta_dirty = false;
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    /// Discard all staged writes, restoring the last committed state.
+    pub fn abort(&mut self) -> Result<()> {
+        self.cache.retain(|_, e| !e.dirty);
+        self.lru.clear();
+        for id in self.cache.keys() {
+            self.lru.push_back(*id);
+        }
+        self.load_meta()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn open_mem() -> (Pager<MemBackend>, MemBackend, MemBackend) {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        (pager, data, wal)
+    }
+
+    fn page_of(fill: u8) -> Page {
+        let mut p = Page::new();
+        p.as_bytes_mut().fill(fill);
+        p
+    }
+
+    #[test]
+    fn allocate_write_read_commit_reopen() {
+        let (mut pager, data, wal) = open_mem();
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, page_of(7)).unwrap();
+        pager.commit().unwrap();
+        drop(pager);
+        let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        assert_eq!(pager.read_page(id).unwrap(), page_of(7));
+        assert_eq!(pager.page_count(), 2);
+    }
+
+    #[test]
+    fn abort_discards_staged_writes() {
+        let (mut pager, _, _) = open_mem();
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, page_of(1)).unwrap();
+        pager.commit().unwrap();
+        pager.write_page(id, page_of(2)).unwrap();
+        assert_eq!(pager.read_page(id).unwrap(), page_of(2), "dirty read");
+        pager.abort().unwrap();
+        assert_eq!(pager.read_page(id).unwrap(), page_of(1), "rolled back");
+    }
+
+    #[test]
+    fn abort_rolls_back_allocation() {
+        let (mut pager, _, _) = open_mem();
+        let before = pager.page_count();
+        pager.allocate().unwrap();
+        pager.abort().unwrap();
+        assert_eq!(pager.page_count(), before);
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let (mut pager, _, _) = open_mem();
+        let a = pager.allocate().unwrap();
+        let _b = pager.allocate().unwrap();
+        pager.commit().unwrap();
+        pager.free(a).unwrap();
+        pager.commit().unwrap();
+        let c = pager.allocate().unwrap();
+        assert_eq!(c, a, "freed page should be recycled");
+        // Recycled page arrives zeroed.
+        assert_eq!(pager.read_page(c).unwrap(), Page::new());
+    }
+
+    #[test]
+    fn out_of_range_access_is_error() {
+        let (mut pager, _, _) = open_mem();
+        assert!(pager.read_page(0).is_err(), "meta page is private");
+        assert!(pager.read_page(99).is_err());
+        assert!(pager.write_page(99, Page::new()).is_err());
+        assert!(pager.free(0).is_err());
+    }
+
+    #[test]
+    fn user_meta_round_trips_through_reopen() {
+        let (mut pager, data, wal) = open_mem();
+        let mut meta = [0u8; USER_META_LEN];
+        meta[0] = 0xAB;
+        meta[63] = 0xCD;
+        pager.set_user_meta(meta);
+        pager.commit().unwrap();
+        drop(pager);
+        let pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        assert_eq!(pager.user_meta()[0], 0xAB);
+        assert_eq!(pager.user_meta()[63], 0xCD);
+    }
+
+    #[test]
+    fn crash_before_data_write_recovers_from_wal() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let faults = data.faults();
+        {
+            let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+            let id = pager.allocate().unwrap();
+            pager.write_page(id, page_of(42)).unwrap();
+            pager.commit().unwrap();
+            // Stage a second commit, then crash after the WAL lands but
+            // before any data-file write: the WAL fsync consumes no data
+            // backend writes, so fail the data backend immediately.
+            pager.write_page(id, page_of(43)).unwrap();
+            faults.fail_after_writes(0);
+            assert!(pager.commit().is_err(), "data write must fail");
+        }
+        faults.heal();
+        // Reopen: recovery must replay the committed WAL record.
+        let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        assert_eq!(pager.read_page(1).unwrap(), page_of(43), "WAL image applied");
+    }
+
+    #[test]
+    fn crash_before_wal_sync_loses_only_the_torn_commit() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let wal_faults = wal.faults();
+        {
+            let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+            let id = pager.allocate().unwrap();
+            pager.write_page(id, page_of(1)).unwrap();
+            pager.commit().unwrap();
+            pager.write_page(id, page_of(2)).unwrap();
+            // Crash during the WAL append itself.
+            wal_faults.fail_after_writes(0);
+            assert!(pager.commit().is_err());
+        }
+        wal_faults.heal();
+        let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        assert_eq!(pager.read_page(1).unwrap(), page_of(1), "previous commit intact");
+    }
+
+    #[test]
+    fn cache_eviction_keeps_correctness() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let mut pager = Pager::open(data.share(), wal.share(), 8).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..50u8 {
+            let id = pager.allocate().unwrap();
+            pager.write_page(id, page_of(i)).unwrap();
+            ids.push(id);
+        }
+        pager.commit().unwrap();
+        // Read everything back through a tiny cache.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(pager.read_page(*id).unwrap(), page_of(i as u8));
+        }
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let (mut pager, _, mut wal_handle) = open_mem();
+        pager.commit().unwrap();
+        pager.commit().unwrap();
+        assert_eq!(wal_handle.len().unwrap(), 0);
+    }
+
+    #[test]
+    fn dirty_count_tracks_staging() {
+        let (mut pager, _, _) = open_mem();
+        assert_eq!(pager.dirty_count(), 0);
+        let id = pager.allocate().unwrap();
+        assert!(pager.dirty_count() >= 2, "page + meta dirty");
+        pager.commit().unwrap();
+        assert_eq!(pager.dirty_count(), 0);
+        pager.write_page(id, page_of(1)).unwrap();
+        assert_eq!(pager.dirty_count(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Storage-engine torture tests: random workloads against a model, with
+//! periodic crash-and-recover cycles.
+
+use cbvr_storage::backend::MemBackend;
+use cbvr_storage::{CbvrDatabase, KeyFrameRecord, VideoRecord};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn video_record(tag: u64, size: usize) -> VideoRecord {
+    VideoRecord {
+        v_name: format!("video-{tag}"),
+        video: (0..size).map(|i| ((i as u64 ^ tag) % 256) as u8).collect(),
+        stream: vec![(tag % 256) as u8; 64],
+        dostore: tag,
+    }
+}
+
+fn kf_record(v_id: u64, tag: u64) -> KeyFrameRecord {
+    KeyFrameRecord {
+        i_name: format!("kf-{tag}"),
+        image: vec![(tag % 251) as u8; (tag % 600) as usize + 10],
+        min: (tag % 128) as u8,
+        max: (tag % 128) as u8 + 127,
+        sch: format!("RGB 256 {tag}"),
+        glcm: "GLCM 1 2 3 4 5 6".into(),
+        gabor: "gabor 60 0".into(),
+        tamura: "Tamura 18 0 0".into(),
+        acc: "ACC 4 0".into(),
+        naive: "NaiveVector".into(),
+        srg: "SRG 1 0 1".into(),
+        majorregions: (tag % 5) as u32,
+        v_id,
+    }
+}
+
+/// One workload step.
+#[derive(Clone, Debug)]
+enum Op {
+    InsertVideo { size: usize },
+    InsertKeyFrame,
+    DeleteVideo,
+    Rename,
+    Reopen,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (100usize..20_000).prop_map(|size| Op::InsertVideo { size }),
+        4 => Just(Op::InsertKeyFrame),
+        1 => Just(Op::DeleteVideo),
+        1 => Just(Op::Rename),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_workload_matches_model(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+
+        // Model: video id → (name, video size, key-frame ids).
+        let mut model: BTreeMap<u64, (String, usize, Vec<u64>)> = BTreeMap::new();
+        let mut tag = 0u64;
+
+        for op in ops {
+            tag += 1;
+            match op {
+                Op::InsertVideo { size } => {
+                    let record = video_record(tag, size);
+                    let v_id = db.insert_video(&record).unwrap();
+                    model.insert(v_id, (record.v_name, size, Vec::new()));
+                }
+                Op::InsertKeyFrame => {
+                    let Some((&v_id, _)) = model.iter().next_back() else { continue };
+                    let i_id = db.insert_key_frame(&kf_record(v_id, tag)).unwrap();
+                    model.get_mut(&v_id).unwrap().2.push(i_id);
+                }
+                Op::DeleteVideo => {
+                    let Some((&v_id, _)) = model.iter().next() else { continue };
+                    db.delete_video(v_id).unwrap();
+                    model.remove(&v_id);
+                }
+                Op::Rename => {
+                    let Some((&v_id, _)) = model.iter().next() else { continue };
+                    let name = format!("renamed-{tag}");
+                    db.rename_video(v_id, &name).unwrap();
+                    model.get_mut(&v_id).unwrap().0 = name;
+                }
+                Op::Reopen => {
+                    drop(db);
+                    db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+                }
+            }
+        }
+
+        // Final audit: database equals model exactly.
+        prop_assert_eq!(db.video_count().unwrap(), model.len());
+        let listed: BTreeMap<u64, String> =
+            db.list_videos().unwrap().into_iter().map(|(id, name, _)| (id, name)).collect();
+        for (&v_id, (name, size, kf_ids)) in &model {
+            prop_assert_eq!(listed.get(&v_id), Some(name));
+            let full = db.get_video(v_id).unwrap();
+            prop_assert_eq!(db.read_video_bytes(&full.row).unwrap().len(), *size);
+            prop_assert_eq!(&db.key_frames_of_video(v_id).unwrap(), kf_ids);
+            for &i_id in kf_ids {
+                let row = db.get_key_frame(i_id).unwrap();
+                prop_assert_eq!(row.v_id, v_id);
+                db.read_image_bytes(&row).unwrap();
+            }
+        }
+        let expected_kf: usize = model.values().map(|(_, _, k)| k.len()).sum();
+        prop_assert_eq!(db.key_frame_count().unwrap(), expected_kf);
+    }
+}

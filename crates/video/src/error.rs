@@ -1,0 +1,73 @@
+//! Error type for video encoding, decoding and generation.
+
+use std::fmt;
+
+/// Errors produced by the VSC container, frame codecs and generator.
+#[derive(Debug)]
+pub enum VideoError {
+    /// The byte stream is not a valid VSC container.
+    Container(String),
+    /// A frame payload failed to decode.
+    FrameCodec(String),
+    /// Generator configuration is inconsistent (zero frames, zero fps, ...).
+    Config(String),
+    /// Propagated image error.
+    Image(cbvr_imgproc::ImgError),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::Container(m) => write!(f, "VSC container error: {m}"),
+            VideoError::FrameCodec(m) => write!(f, "frame codec error: {m}"),
+            VideoError::Config(m) => write!(f, "generator config error: {m}"),
+            VideoError::Image(e) => write!(f, "image error: {e}"),
+            VideoError::Io(e) => write!(f, "video i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VideoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VideoError::Image(e) => Some(e),
+            VideoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cbvr_imgproc::ImgError> for VideoError {
+    fn from(e: cbvr_imgproc::ImgError) -> Self {
+        VideoError::Image(e)
+    }
+}
+
+impl From<std::io::Error> for VideoError {
+    fn from(e: std::io::Error) -> Self {
+        VideoError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, VideoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(VideoError::Container("bad magic".into()).to_string().contains("bad magic"));
+        assert!(VideoError::Config("zero fps".into()).to_string().contains("zero fps"));
+    }
+
+    #[test]
+    fn image_error_converts_and_chains() {
+        use std::error::Error;
+        let e: VideoError = cbvr_imgproc::ImgError::Decode("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

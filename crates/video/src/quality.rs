@@ -1,0 +1,73 @@
+//! Frame quality metrics used to validate codecs and to measure how far
+//! apart two frames are (mean-squared error, PSNR).
+
+use crate::error::{Result, VideoError};
+use cbvr_imgproc::RgbImage;
+
+/// Mean squared error across all channels of two same-sized frames.
+pub fn mse(a: &RgbImage, b: &RgbImage) -> Result<f64> {
+    if a.dimensions() != b.dimensions() {
+        return Err(VideoError::Config(format!(
+            "mse dimension mismatch: {:?} vs {:?}",
+            a.dimensions(),
+            b.dimensions()
+        )));
+    }
+    let sum: u64 = a
+        .as_raw()
+        .iter()
+        .zip(b.as_raw())
+        .map(|(&x, &y)| {
+            let d = x as i64 - y as i64;
+            (d * d) as u64
+        })
+        .sum();
+    Ok(sum as f64 / a.as_raw().len() as f64)
+}
+
+/// Peak signal-to-noise ratio in dB; `f64::INFINITY` for identical frames.
+pub fn psnr(a: &RgbImage, b: &RgbImage) -> Result<f64> {
+    let m = mse(a, b)?;
+    if m == 0.0 {
+        Ok(f64::INFINITY)
+    } else {
+        Ok(10.0 * (255.0f64 * 255.0 / m).log10())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_imgproc::Rgb;
+
+    #[test]
+    fn identical_frames_have_infinite_psnr() {
+        let f = RgbImage::filled(8, 8, Rgb::new(1, 2, 3)).unwrap();
+        assert_eq!(mse(&f, &f).unwrap(), 0.0);
+        assert!(psnr(&f, &f).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = RgbImage::filled(2, 2, Rgb::new(10, 10, 10)).unwrap();
+        let b = RgbImage::filled(2, 2, Rgb::new(13, 10, 10)).unwrap();
+        // One channel off by 3 → 9, averaged over 3 channels → 3.
+        assert!((mse(&a, &b).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = RgbImage::filled(8, 8, Rgb::new(100, 100, 100)).unwrap();
+        let b = RgbImage::filled(8, 8, Rgb::new(105, 100, 100)).unwrap();
+        let c = RgbImage::filled(8, 8, Rgb::new(150, 100, 100)).unwrap();
+        assert!(psnr(&a, &b).unwrap() > psnr(&a, &c).unwrap());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = RgbImage::new(4, 4).unwrap();
+        let b = RgbImage::new(4, 5).unwrap();
+        assert!(mse(&a, &b).is_err());
+        assert!(psnr(&a, &b).is_err());
+    }
+}

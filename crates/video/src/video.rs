@@ -1,0 +1,128 @@
+//! In-memory video: an ordered sequence of RGB frames plus timing metadata.
+
+use crate::error::{Result, VideoError};
+use cbvr_imgproc::RgbImage;
+
+/// A decoded video clip: constant-rate, constant-size RGB frames.
+///
+/// This is the unit that flows through the pipeline: the generator
+/// produces one, the VSC container round-trips one, and ingestion iterates
+/// its frames ("frames extracted by video to jpeg converter", §4.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Video {
+    width: u32,
+    height: u32,
+    fps: u32,
+    frames: Vec<RgbImage>,
+}
+
+impl Video {
+    /// Assemble a video from frames. All frames must share dimensions and
+    /// there must be at least one.
+    pub fn new(fps: u32, frames: Vec<RgbImage>) -> Result<Self> {
+        if fps == 0 {
+            return Err(VideoError::Config("fps must be positive".into()));
+        }
+        let first = frames
+            .first()
+            .ok_or_else(|| VideoError::Config("video needs at least one frame".into()))?;
+        let (width, height) = first.dimensions();
+        for (i, f) in frames.iter().enumerate() {
+            if f.dimensions() != (width, height) {
+                return Err(VideoError::Config(format!(
+                    "frame {i} is {}x{}, expected {width}x{height}",
+                    f.width(),
+                    f.height()
+                )));
+            }
+        }
+        Ok(Video { width, height, fps, frames })
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.frames.len() as f64 / self.fps as f64
+    }
+
+    /// Borrow one frame by index.
+    pub fn frame(&self, i: usize) -> Option<&RgbImage> {
+        self.frames.get(i)
+    }
+
+    /// Borrow all frames in display order.
+    pub fn frames(&self) -> &[RgbImage] {
+        &self.frames
+    }
+
+    /// Consume the video, returning its frames.
+    pub fn into_frames(self) -> Vec<RgbImage> {
+        self.frames
+    }
+
+    /// Timestamp of frame `i` in seconds.
+    pub fn timestamp(&self, i: usize) -> f64 {
+        i as f64 / self.fps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbvr_imgproc::Rgb;
+
+    fn frame(w: u32, h: u32, v: u8) -> RgbImage {
+        RgbImage::filled(w, h, Rgb::new(v, v, v)).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Video::new(25, vec![frame(8, 6, 0), frame(8, 6, 1), frame(8, 6, 2)]).unwrap();
+        assert_eq!(v.width(), 8);
+        assert_eq!(v.height(), 6);
+        assert_eq!(v.fps(), 25);
+        assert_eq!(v.frame_count(), 3);
+        assert!((v.duration_secs() - 0.12).abs() < 1e-12);
+        assert_eq!(v.frame(1).unwrap().get(0, 0), Rgb::new(1, 1, 1));
+        assert!(v.frame(3).is_none());
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_fps() {
+        assert!(Video::new(25, vec![]).is_err());
+        assert!(Video::new(0, vec![frame(2, 2, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_mixed_dimensions() {
+        let err = Video::new(25, vec![frame(8, 6, 0), frame(4, 4, 1)]);
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("frame 1"));
+    }
+
+    #[test]
+    fn timestamps() {
+        let v = Video::new(10, vec![frame(2, 2, 0); 5]).unwrap();
+        assert_eq!(v.timestamp(0), 0.0);
+        assert_eq!(v.timestamp(3), 0.3);
+    }
+}

@@ -1,0 +1,32 @@
+//! # cbvr-web — the web application
+//!
+//! "Proposed Video Storage and Retrieval System ... is interactive web
+//! based application which takes video frame from users and retrieve the
+//! information from the database" (§1). This crate is that application:
+//! a dependency-free HTTP/1.1 server over the embedded database, serving
+//! the User role's three query modes and the browse screens of
+//! Figs. 9–10.
+//!
+//! | route | role |
+//! |---|---|
+//! | `GET /` | video list (Fig. 9's catalog view) |
+//! | `GET /video?id=N` | one video: metadata + key-frame strip |
+//! | `GET /keyframe?id=N` | a stored key frame as BMP |
+//! | `GET /search?name=S` | metadata search |
+//! | `POST /query?k=N[&feature=F][&format=json]` | content search — body is the query image (PPM/BMP/PGM/VJP) |
+//! | `GET /stats` | database statistics |
+//!
+//! [`http`] is a from-scratch request parser / response writer (no
+//! external dependencies, per DESIGN.md); [`app`] holds the pure,
+//! socket-free request handler the tests drive directly; [`server`] is
+//! the threaded accept loop.
+#![warn(missing_docs)]
+
+
+pub mod app;
+pub mod http;
+pub mod server;
+
+pub use app::{AppState, HtmlPage};
+pub use http::{Method, Request, Response, StatusCode};
+pub use server::Server;

@@ -1,0 +1,54 @@
+//! `cbvr-web` binary: serve a database directory over HTTP.
+//!
+//! ```text
+//! cbvr-web --db DIR [--addr 127.0.0.1:8080]
+//! ```
+
+use cbvr_storage::CbvrDatabase;
+use cbvr_web::{AppState, Server};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut db_dir: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => {
+                i += 1;
+                db_dir = Some(PathBuf::from(&args[i]));
+            }
+            "--addr" => {
+                i += 1;
+                addr = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}\nusage: cbvr-web --db DIR [--addr HOST:PORT]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(db_dir) = db_dir else {
+        eprintln!("usage: cbvr-web --db DIR [--addr HOST:PORT]");
+        std::process::exit(2);
+    };
+
+    let db = CbvrDatabase::open_dir(&db_dir).unwrap_or_else(|e| {
+        eprintln!("cannot open database: {e}");
+        std::process::exit(1);
+    });
+    let state = AppState::new(db).unwrap_or_else(|e| {
+        eprintln!("cannot load catalog: {e}");
+        std::process::exit(1);
+    });
+    let server = Server::start(state, &addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("serving http://{}/ (ctrl-c to stop)", server.addr());
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,82 @@
+//! The Administrator role (Figs. 2 & 5): add, update and delete videos in
+//! a *durable on-disk* database, then prove the changes survive reopening
+//! — the paper's "Administrator is responsible for controlling the entire
+//! database" workflow end to end.
+//!
+//! ```text
+//! cargo run --release --example admin_console [-- <data-dir>]
+//! ```
+
+use cbvr::prelude::*;
+use cbvr::storage::CbvrDatabase as Db;
+use std::path::PathBuf;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("cbvr-admin-{}", std::process::id())));
+    println!("database directory: {}", dir.display());
+
+    let generator = VideoGenerator::new(GeneratorConfig::default()).expect("valid config");
+    let config = IngestConfig { timestamp: 1_751_700_000, ..IngestConfig::default() };
+
+    // ---- session 1: the administrator adds content -------------------
+    let (sports_id, movie_id) = {
+        let mut db = Db::open_dir(&dir).expect("create database");
+        let sports = generator.generate(Category::Sports, 10).expect("generate");
+        let movie = generator.generate(Category::Movie, 11).expect("generate");
+        let s = ingest_video(&mut db, "match_highlights.vsc", &sports, &config).expect("ingest");
+        let m = ingest_video(&mut db, "night_drive.vsc", &movie, &config).expect("ingest");
+        println!("\n[admin] added:");
+        for (v_id, name, dostore) in db.list_videos().expect("list") {
+            println!("  v_id={v_id} name={name} dostore={dostore}");
+        }
+        (s.v_id, m.v_id)
+    }; // database closed — everything must be on disk
+
+    // ---- session 2: update (rename) -----------------------------------
+    {
+        let mut db = Db::open_dir(&dir).expect("reopen database");
+        assert_eq!(db.video_count().expect("count"), 2, "both videos survived reopen");
+        db.rename_video(sports_id, "match_highlights_final.vsc").expect("rename");
+        println!("\n[admin] renamed video {sports_id}:");
+        for (v_id, name, _) in db.list_videos().expect("list") {
+            println!("  v_id={v_id} name={name}");
+        }
+    }
+
+    // ---- session 3: delete with cascade --------------------------------
+    {
+        let mut db = Db::open_dir(&dir).expect("reopen database");
+        let before = db.key_frame_count().expect("count");
+        db.delete_video(movie_id).expect("delete");
+        let after = db.key_frame_count().expect("count");
+        println!(
+            "\n[admin] deleted video {movie_id}: key frames {before} -> {after} (cascade)"
+        );
+        assert!(after < before);
+        assert_eq!(db.video_count().expect("count"), 1);
+    }
+
+    // ---- session 4: verify final durable state -------------------------
+    {
+        let mut db = Db::open_dir(&dir).expect("reopen database");
+        let videos = db.list_videos().expect("list");
+        assert_eq!(videos.len(), 1);
+        assert_eq!(videos[0].1, "match_highlights_final.vsc");
+        // The stored container still decodes frame-for-frame.
+        let full = db.get_video(videos[0].0).expect("fetch");
+        let bytes = db.read_video_bytes(&full.row).expect("blob");
+        let clip = decode_vsc(&bytes).expect("container decodes");
+        println!(
+            "\n[verify] '{}' decodes: {} frames at {}x{}",
+            full.v_name,
+            clip.frame_count(),
+            clip.width(),
+            clip.height()
+        );
+    }
+
+    println!("\nadmin workflow complete; state in {}", dir.display());
+}

@@ -1,0 +1,109 @@
+//! The §6 future-work extensions in action: the MPEG-7-style edge
+//! histogram (shape) and the clip-level motion activity descriptor,
+//! separating categories the frame features alone conflate.
+//!
+//! ```text
+//! cargo run --release --example extended_features
+//! ```
+
+use cbvr::features::edge::EdgeHistogram;
+use cbvr::features::motion::MotionActivity;
+use cbvr::prelude::*;
+
+fn main() {
+    let generator = VideoGenerator::new(GeneratorConfig::default()).expect("valid config");
+
+    // ---- motion activity distinguishes clips with similar palettes -----
+    println!("motion activity per category (mean intensity / cut spikiness):");
+    let mut motion: Vec<(Category, MotionActivity)> = Vec::new();
+    for category in Category::ALL {
+        let clip = generator.generate(category, 7).expect("generate");
+        let m = MotionActivity::extract(clip.frames());
+        println!(
+            "  {:<10} intensity {:>6.2}  std {:>6.2}  hist[0] {:.2}",
+            category.name(),
+            m.mean_intensity,
+            m.std_intensity,
+            m.histogram[0]
+        );
+        motion.push((category, m));
+    }
+    let sports = &motion.iter().find(|(c, _)| *c == Category::Sports).unwrap().1;
+    let news = &motion.iter().find(|(c, _)| *c == Category::News).unwrap().1;
+    assert!(sports.mean_intensity > news.mean_intensity);
+    println!("  → sports out-moves news, as footage should.\n");
+
+    // ---- edge histogram captures layout/shape --------------------------
+    println!("edge histogram distances between category exemplars:");
+    let frames: Vec<(Category, EdgeHistogram)> = Category::ALL
+        .iter()
+        .map(|&c| {
+            let clip = generator.generate(c, 3).expect("generate");
+            (c, EdgeHistogram::extract(clip.frame(0).expect("has frames")))
+        })
+        .collect();
+    print!("{:<11}", "");
+    for (c, _) in &frames {
+        print!("{:>10}", c.name());
+    }
+    println!();
+    for (c1, e1) in &frames {
+        print!("{:<11}", c1.name());
+        for (_, e2) in &frames {
+            print!("{:>10.3}", e1.distance(e2));
+        }
+        println!();
+    }
+
+    // ---- extension features as a re-ranking stage -----------------------
+    // Query twice with identical combined scores, then break near-ties by
+    // motion similarity — a cheap, effective second stage.
+    let mut db = CbvrDatabase::in_memory().expect("open database");
+    let config = IngestConfig::default();
+    let mut clip_motion = std::collections::HashMap::new();
+    for category in [Category::Sports, Category::News] {
+        for seed in 0..3u64 {
+            let clip = generator.generate(category, seed).expect("generate");
+            let report = ingest_video(
+                &mut db,
+                &format!("{}_{seed:02}", category.name()),
+                &clip,
+                &config,
+            )
+            .expect("ingest");
+            clip_motion.insert(report.v_id, MotionActivity::extract(clip.frames()));
+        }
+    }
+    let engine = QueryEngine::from_database(&mut db).expect("load catalog");
+    let probe = generator.generate(Category::Sports, 900).expect("generate probe");
+    let probe_motion = MotionActivity::extract(probe.frames());
+    let frame = probe.frame(4).expect("has frames");
+
+    let mut results = engine.query_frame(frame, &QueryOptions { k: 6, ..Default::default() });
+    println!("\nframe-feature ranking, then motion-aware re-ranking:");
+    for m in &results {
+        println!("  {:<12} frame score {:.3}", engine.video_name(m.v_id).unwrap(), m.score);
+    }
+    // Re-rank: combined frame score blended with motion similarity.
+    results.sort_by(|a, b| {
+        let blend = |m: &FrameMatch| {
+            let md = clip_motion[&m.v_id].distance(&probe_motion);
+            0.7 * m.score + 0.3 * (1.0 - md)
+        };
+        blend(b).partial_cmp(&blend(a)).unwrap()
+    });
+    println!("  --- after motion re-ranking ---");
+    for m in &results {
+        let md = clip_motion[&m.v_id].distance(&probe_motion);
+        println!(
+            "  {:<12} frame {:.3}  motion-dist {:.3}",
+            engine.video_name(m.v_id).unwrap(),
+            m.score,
+            md
+        );
+    }
+    assert!(
+        engine.video_name(results[0].v_id).unwrap().starts_with("sports"),
+        "motion re-ranking should keep sports on top"
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: ingest a handful of clips and retrieve by example frame.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cbvr::prelude::*;
+
+fn main() {
+    // 1. Open a database. In-memory here; `CbvrDatabase::open_dir` gives a
+    //    durable on-disk store with WAL crash recovery.
+    let mut db = CbvrDatabase::in_memory().expect("open database");
+
+    // 2. Generate a tiny corpus (the offline stand-in for real footage)
+    //    and ingest it: key frames, features and index keys are extracted
+    //    and stored automatically.
+    let generator = VideoGenerator::new(GeneratorConfig::default()).expect("valid config");
+    let config = IngestConfig { timestamp: 1_751_700_000, ..IngestConfig::default() };
+    for category in Category::ALL {
+        for seed in 0..2u64 {
+            let clip = generator.generate(category, seed).expect("generate clip");
+            let name = format!("{}_{seed:02}.vsc", category.name());
+            let report = ingest_video(&mut db, &name, &clip, &config).expect("ingest");
+            println!(
+                "ingested {name}: v_id={} with {} key frames",
+                report.v_id,
+                report.keyframe_ids.len()
+            );
+        }
+    }
+
+    // 3. Build the query engine from the stored catalog.
+    let engine = QueryEngine::from_database(&mut db).expect("load catalog");
+    println!("\ncatalog: {} key frames across {} videos", engine.len(), engine.video_ids().len());
+
+    // 4. Query by example: a frame from an *unseen* cartoon clip.
+    let probe = generator.generate(Category::Cartoon, 99).expect("generate probe");
+    let results = engine.query_frame(probe.frame(0).expect("has frames"), &QueryOptions::default());
+
+    println!("\ntop matches for an unseen cartoon frame:");
+    for (rank, m) in results.iter().take(5).enumerate() {
+        println!(
+            "  {}. {:<18} (key frame #{}, similarity {:.3})",
+            rank + 1,
+            engine.video_name(m.v_id).unwrap_or("?"),
+            m.i_id,
+            m.score
+        );
+    }
+    assert!(
+        engine.video_name(results[0].v_id).unwrap_or("").starts_with("cartoon"),
+        "the best match should be a cartoon"
+    );
+    println!("\nthe top match is a cartoon clip, as expected.");
+}

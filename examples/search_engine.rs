@@ -1,0 +1,83 @@
+//! The User role (Figs. 2, 4, 9): the three query modes the paper's
+//! search engine offers — query by example *frame*, query by example
+//! *clip* (the §1 dynamic-programming sequence similarity), and metadata
+//! search.
+//!
+//! ```text
+//! cargo run --release --example search_engine
+//! ```
+
+use cbvr::core::KeyframeConfig;
+use cbvr::prelude::*;
+
+fn main() {
+    // Build and ingest a corpus of 15 clips.
+    let mut db = CbvrDatabase::in_memory().expect("open database");
+    let generator = VideoGenerator::new(GeneratorConfig::default()).expect("valid config");
+    let config = IngestConfig { timestamp: 1_751_700_000, ..IngestConfig::default() };
+    for category in Category::ALL {
+        for seed in 0..3u64 {
+            let clip = generator.generate(category, seed).expect("generate");
+            let name = format!("{}_{seed:02}.vsc", category.name());
+            ingest_video(&mut db, &name, &clip, &config).expect("ingest");
+        }
+    }
+    let engine = QueryEngine::from_database(&mut db).expect("load catalog");
+    println!("catalog ready: {} key frames\n", engine.len());
+
+    // ---- mode 1: query by example frame --------------------------------
+    let probe = generator.generate(Category::News, 77).expect("generate probe");
+    let frame = probe.frame(3).expect("has frames");
+    println!("== query by frame (an unseen news broadcast) ==");
+    for (rank, m) in engine
+        .query_frame(frame, &QueryOptions { k: 5, ..Default::default() })
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  {}. {:<16} similarity {:.3}",
+            rank + 1,
+            engine.video_name(m.v_id).unwrap_or("?"),
+            m.score
+        );
+    }
+
+    // ---- mode 2: query by example clip (DTW over key-frame features) ---
+    println!("\n== query by clip (whole unseen movie trailer) ==");
+    let trailer = generator.generate(Category::Movie, 88).expect("generate probe");
+    for (rank, m) in engine
+        .query_video(&trailer, &KeyframeConfig::default(), &QueryOptions { k: 5, ..Default::default() })
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  {}. {:<16} DTW distance {:.4}",
+            rank + 1,
+            engine.video_name(m.v_id).unwrap_or("?"),
+            m.distance
+        );
+    }
+
+    // ---- mode 3: metadata search ----------------------------------------
+    println!("\n== metadata search: name contains 'sports' ==");
+    for (v_id, name) in engine.find_videos_by_name("sports") {
+        println!("  v_id={v_id} {name}");
+    }
+
+    // ---- single-feature retrieval (Table 1's columns as a user option) --
+    println!("\n== same frame, histogram-only vs combined ==");
+    for (label, weights) in [
+        ("histogram", FeatureWeights::single(FeatureKind::ColorHistogram)),
+        ("combined ", FeatureWeights::default()),
+    ] {
+        let top = &engine.query_frame(
+            frame,
+            &QueryOptions { k: 1, weights, ..Default::default() },
+        )[0];
+        println!(
+            "  {label}: best = {} (similarity {:.3})",
+            engine.video_name(top.v_id).unwrap_or("?"),
+            top.score
+        );
+    }
+}

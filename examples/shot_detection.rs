@@ -1,0 +1,53 @@
+//! Shot-boundary detection: the paper's fixed-threshold extractor (§4.1)
+//! next to the adaptive local-statistics detector, on the same clip.
+//!
+//! ```text
+//! cargo run --release --example shot_detection
+//! ```
+
+use cbvr::keyframe::{
+    detect_shot_boundaries, extract_keyframes, AdaptiveConfig, KeyframeConfig,
+};
+use cbvr::prelude::*;
+
+fn main() {
+    let generator = VideoGenerator::new(GeneratorConfig {
+        shots_per_video: 5,
+        min_shot_frames: 8,
+        max_shot_frames: 14,
+        ..GeneratorConfig::default()
+    })
+    .expect("valid config");
+
+    for category in [Category::Cartoon, Category::Movie] {
+        let script = generator.script(category, 77);
+        let video = generator.render_script(&script).expect("render");
+
+        // Ground truth from the script.
+        let mut truth = vec![0usize];
+        let mut acc = 0usize;
+        for shot in &script.shots[..script.shots.len() - 1] {
+            acc += shot.frames as usize;
+            truth.push(acc);
+        }
+
+        println!("== {} clip: {} frames, {} scripted shots ==", category.name(), video.frame_count(), script.shots.len());
+        println!("scripted cut positions : {truth:?}");
+
+        let fixed = extract_keyframes(&video, &KeyframeConfig::default());
+        println!(
+            "fixed threshold (800)  : {} key frames at {:?}",
+            fixed.len(),
+            fixed.iter().map(|k| k.index).collect::<Vec<_>>()
+        );
+
+        let adaptive = detect_shot_boundaries(video.frames(), &AdaptiveConfig::default());
+        println!("adaptive boundaries    : {adaptive:?}");
+
+        let found = truth
+            .iter()
+            .filter(|t| adaptive.iter().any(|a| (*a as i64 - **t as i64).abs() <= 1))
+            .count();
+        println!("adaptive recovers {found}/{} scripted cuts\n", truth.len());
+    }
+}

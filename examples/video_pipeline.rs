@@ -1,0 +1,72 @@
+//! The substrate tour: generate a clip, round-trip it through the VSC
+//! container with each codec, extract key frames (§4.1), dump them as
+//! viewable BMPs, and print every feature string (§4.3–§4.8) for the
+//! first key frame — the low-level pieces the retrieval system composes.
+//!
+//! ```text
+//! cargo run --release --example video_pipeline [-- <out-dir>]
+//! ```
+
+use cbvr::keyframe::{extract_keyframes, KeyframeConfig};
+use cbvr::prelude::*;
+use cbvr::video::quality::psnr;
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("cbvr-pipeline-{}", std::process::id())));
+    std::fs::create_dir_all(&out).expect("create output dir");
+
+    // 1. Generate a sports clip.
+    let generator = VideoGenerator::new(GeneratorConfig::default()).expect("valid config");
+    let clip = generator.generate(Category::Sports, 42).expect("generate");
+    println!(
+        "generated: {} frames, {}x{} @ {} fps",
+        clip.frame_count(),
+        clip.width(),
+        clip.height(),
+        clip.fps()
+    );
+
+    // 2. Container round trip with every codec; all are lossless.
+    println!("\ncodec sizes (lossless container round trips):");
+    for codec in [FrameCodec::Raw, FrameCodec::Rle, FrameCodec::Delta] {
+        let bytes = encode_vsc(&clip, codec);
+        let back = decode_vsc(&bytes).expect("container decodes");
+        let quality = psnr(clip.frame(0).unwrap(), back.frame(0).unwrap()).expect("same dims");
+        println!(
+            "  {:?}: {:>9} bytes, frame-0 PSNR = {}",
+            codec,
+            bytes.len(),
+            if quality.is_infinite() { "inf (bit exact)".to_string() } else { format!("{quality:.1} dB") }
+        );
+        assert_eq!(back, clip);
+    }
+
+    // 3. Key-frame extraction (§4.1, threshold 800 on the naive-signature
+    //    distance of 300x300 rescaled frames).
+    let keyframes = extract_keyframes(&clip, &KeyframeConfig::default());
+    println!(
+        "\nkey frames: {} of {} frames survive (indices {:?})",
+        keyframes.len(),
+        clip.frame_count(),
+        keyframes.iter().map(|k| k.index).collect::<Vec<_>>()
+    );
+    for kf in &keyframes {
+        let path = out.join(format!("keyframe_{:03}.bmp", kf.index));
+        std::fs::write(&path, cbvr::imgproc::codec::encode(&kf.frame, cbvr::imgproc::ImageFormat::Bmp))
+            .expect("write bmp");
+    }
+    println!("dumped key frames to {}", out.display());
+
+    // 4. Feature strings for the first key frame (§4.3–§4.8; what the
+    //    KEY_FRAMES row stores in its VARCHAR2 columns).
+    let set = FeatureSet::extract(&keyframes[0].frame);
+    println!("\nfeature strings of key frame {} (truncated to 70 chars):", keyframes[0].index);
+    for (kind, s) in set.to_feature_strings() {
+        let shown: String = s.chars().take(70).collect();
+        println!("  {:<16} {}{}", kind.name(), shown, if s.len() > 70 { "…" } else { "" });
+    }
+}

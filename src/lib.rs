@@ -1,0 +1,49 @@
+//! # cbvr — content-based video retrieval
+//!
+//! A complete implementation of Patel & Meshram, *Content Based Video
+//! Retrieval* (IJMA 4(5), 2012): multi-feature indexing and retrieval of
+//! videos over a from-scratch storage engine, with a synthetic footage
+//! generator standing in for the paper's archive.org corpus.
+//!
+//! This crate is the facade: it re-exports every workspace crate under
+//! one name so applications depend on `cbvr` alone.
+//!
+//! ```no_run
+//! use cbvr::prelude::*;
+//!
+//! // Administrator: add a video.
+//! let mut db = CbvrDatabase::in_memory().unwrap();
+//! let generator = VideoGenerator::new(GeneratorConfig::default()).unwrap();
+//! let clip = generator.generate(Category::Sports, 1).unwrap();
+//! ingest_video(&mut db, "sports_01", &clip, &IngestConfig::default()).unwrap();
+//!
+//! // User: query by example frame.
+//! let engine = QueryEngine::from_database(&mut db).unwrap();
+//! let matches = engine.query_frame(clip.frame(0).unwrap(), &QueryOptions::default());
+//! assert_eq!(matches[0].v_id, 1);
+//! ```
+#![warn(missing_docs)]
+
+
+pub use cbvr_core as core;
+pub use cbvr_eval as eval;
+pub use cbvr_features as features;
+pub use cbvr_imgproc as imgproc;
+pub use cbvr_index as index;
+pub use cbvr_keyframe as keyframe;
+pub use cbvr_storage as storage;
+pub use cbvr_video as video;
+
+/// The types most applications need, in one import.
+pub mod prelude {
+    pub use cbvr_core::{
+        ingest_video, FeatureWeights, FrameMatch, IngestConfig, IngestReport, KeyframeConfig,
+        QueryEngine, QueryOptions, VideoMatch,
+    };
+    pub use cbvr_features::{FeatureKind, FeatureSet};
+    pub use cbvr_imgproc::{GrayImage, Rgb, RgbImage};
+    pub use cbvr_storage::{CbvrDatabase, KeyFrameRecord, VideoRecord};
+    pub use cbvr_video::{
+        decode_vsc, encode_vsc, Category, FrameCodec, GeneratorConfig, Video, VideoGenerator,
+    };
+}

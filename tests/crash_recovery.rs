@@ -1,0 +1,140 @@
+//! Failure injection through the public API: commits are atomic under
+//! crashes at every write of the commit protocol.
+
+use cbvr::prelude::*;
+use cbvr::storage::backend::MemBackend;
+use cbvr::storage::CbvrDatabase as Db;
+
+fn clip(seed: u64) -> Video {
+    VideoGenerator::new(GeneratorConfig {
+        width: 48,
+        height: 36,
+        shots_per_video: 2,
+        min_shot_frames: 3,
+        max_shot_frames: 4,
+        ..GeneratorConfig::default()
+    })
+    .unwrap()
+    .generate(Category::Cartoon, seed)
+    .unwrap()
+}
+
+/// Which file the injected crash hits.
+#[derive(Copy, Clone, Debug)]
+enum CrashTarget {
+    /// The WAL: a torn record must roll the whole batch back.
+    Wal,
+    /// The data file: the synced WAL record must replay on reopen.
+    Data,
+}
+
+/// Crash the chosen backend after `budget` writes during the second
+/// ingest and verify the database recovers to a consistent state: the
+/// first video is always intact and the second is either fully present
+/// or fully absent.
+fn crash_at(target: CrashTarget, budget: u64) -> (usize, usize) {
+    let data = MemBackend::new();
+    let wal = MemBackend::new();
+    let faults = match target {
+        CrashTarget::Wal => wal.faults(),
+        CrashTarget::Data => data.faults(),
+    };
+    let config = IngestConfig::default();
+
+    {
+        let mut db = Db::on_backends(data.share(), wal.share()).unwrap();
+        ingest_video(&mut db, "stable", &clip(1), &config).unwrap();
+        faults.fail_after_writes(budget);
+        let _ = ingest_video(&mut db, "doomed", &clip(2), &config);
+    }
+    faults.heal();
+
+    let mut db = Db::on_backends(data.share(), wal.share()).unwrap();
+    let videos = db.list_videos().unwrap();
+    assert!(
+        videos.iter().any(|(_, name, _)| name == "stable"),
+        "pre-crash video lost at budget {budget}"
+    );
+    // Whatever survived must be fully readable.
+    let mut keyframes = 0usize;
+    for (v_id, name, _) in &videos {
+        let full = db.get_video(*v_id).unwrap();
+        let bytes = db.read_video_bytes(&full.row).unwrap();
+        let decoded = decode_vsc(&bytes).unwrap();
+        assert!(decoded.frame_count() > 0, "{name} corrupted at budget {budget}");
+        let kf_ids = db.key_frames_of_video(*v_id).unwrap();
+        for i_id in &kf_ids {
+            let row = db.get_key_frame(*i_id).unwrap();
+            let image = db.read_image_bytes(&row).unwrap();
+            cbvr::imgproc::decode_auto(&image).unwrap();
+        }
+        keyframes += kf_ids.len();
+    }
+    (videos.len(), keyframes)
+}
+
+#[test]
+fn torn_wal_rolls_the_batch_back() {
+    // Crashing inside the WAL append (budget 0 = the first append write
+    // fails) must lose exactly the doomed video; a huge budget commits.
+    let mut saw_rollback = false;
+    let mut saw_commit = false;
+    for budget in [0u64, 1, 100_000] {
+        let (videos, _) = crash_at(CrashTarget::Wal, budget);
+        match videos {
+            1 => saw_rollback = true,
+            2 => saw_commit = true,
+            other => panic!("impossible video count {other} at WAL budget {budget}"),
+        }
+    }
+    assert!(saw_rollback, "a torn WAL record should lose the doomed video");
+    assert!(saw_commit, "a large budget should let the commit finish");
+}
+
+#[test]
+fn synced_wal_survives_data_file_crashes() {
+    // Once the WAL record is durable, a crash anywhere in the data-file
+    // propagation must NOT lose the commit: recovery replays it.
+    for budget in [0u64, 1, 3, 10, 50] {
+        let (videos, keyframes) = crash_at(CrashTarget::Data, budget);
+        assert_eq!(videos, 2, "WAL-recovered commit lost at data budget {budget}");
+        assert!(keyframes >= 2, "key frames missing after recovery at budget {budget}");
+    }
+}
+
+#[test]
+fn wal_tail_corruption_is_discarded_on_open() {
+    let data = MemBackend::new();
+    let wal = MemBackend::new();
+    {
+        let mut db = Db::on_backends(data.share(), wal.share()).unwrap();
+        ingest_video(&mut db, "v", &clip(3), &IngestConfig::default()).unwrap();
+    }
+    // Plant garbage in the WAL, as an interrupted append would leave.
+    {
+        use cbvr::storage::backend::Backend;
+        let mut w = wal.share();
+        let end = w.len().unwrap();
+        w.write_at(end, b"torn garbage record").unwrap();
+    }
+    let mut db = Db::on_backends(data.share(), wal.share()).unwrap();
+    assert_eq!(db.video_count().unwrap(), 1);
+    let videos = db.list_videos().unwrap();
+    assert_eq!(videos[0].1, "v");
+}
+
+#[test]
+fn repeated_recovery_is_idempotent() {
+    let data = MemBackend::new();
+    let wal = MemBackend::new();
+    {
+        let mut db = Db::on_backends(data.share(), wal.share()).unwrap();
+        ingest_video(&mut db, "v1", &clip(1), &IngestConfig::default()).unwrap();
+        ingest_video(&mut db, "v2", &clip(2), &IngestConfig::default()).unwrap();
+    }
+    for _ in 0..3 {
+        let mut db = Db::on_backends(data.share(), wal.share()).unwrap();
+        assert_eq!(db.video_count().unwrap(), 2);
+        assert_eq!(db.list_videos().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Whole-system integration: generate → ingest through the on-disk
+//! storage engine → reopen → query, spanning every crate.
+
+use cbvr::core::KeyframeConfig;
+use cbvr::prelude::*;
+use cbvr::storage::CbvrDatabase as Db;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cbvr-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn small_generator() -> VideoGenerator {
+    VideoGenerator::new(GeneratorConfig {
+        width: 64,
+        height: 48,
+        shots_per_video: 3,
+        min_shot_frames: 4,
+        max_shot_frames: 6,
+        ..GeneratorConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn ingest_reopen_query_across_processes_worth_of_state() {
+    let dir = temp_dir("e2e");
+    let generator = small_generator();
+    let config = IngestConfig { timestamp: 1_751_700_000, ..IngestConfig::default() };
+
+    let mut expected = Vec::new();
+    {
+        let mut db = Db::open_dir(&dir).unwrap();
+        for category in [Category::Sports, Category::Movie, Category::News] {
+            for seed in 0..2u64 {
+                let clip = generator.generate(category, seed).unwrap();
+                let name = format!("{}_{seed}", category.name());
+                let report = ingest_video(&mut db, &name, &clip, &config).unwrap();
+                expected.push((report.v_id, category));
+            }
+        }
+    } // drop = close
+
+    // Reopen from disk; catalog loads from stored feature strings.
+    let mut db = Db::open_dir(&dir).unwrap();
+    assert_eq!(db.video_count().unwrap(), 6);
+    let engine = QueryEngine::from_database(&mut db).unwrap();
+    assert!(!engine.is_empty());
+    assert_eq!(engine.video_ids().len(), 6);
+
+    // Query with an unseen same-category clip's frame.
+    let probe = generator.generate(Category::Movie, 50).unwrap();
+    let results =
+        engine.query_frame(probe.frame(0).unwrap(), &QueryOptions { k: 3, ..Default::default() });
+    assert!(!results.is_empty());
+    let top_category = expected.iter().find(|(v, _)| *v == results[0].v_id).unwrap().1;
+    assert_eq!(top_category, Category::Movie, "top match should be a movie: {results:?}");
+
+    // The stored container of the top match still decodes.
+    let full = db.get_video(results[0].v_id).unwrap();
+    let bytes = db.read_video_bytes(&full.row).unwrap();
+    let clip = decode_vsc(&bytes).unwrap();
+    assert!(clip.frame_count() > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clip_query_finds_the_exact_source_video() {
+    let mut db = CbvrDatabase::in_memory().unwrap();
+    let generator = small_generator();
+    let config = IngestConfig::default();
+    let mut ids = Vec::new();
+    for seed in 0..3u64 {
+        let clip = generator.generate(Category::Cartoon, seed).unwrap();
+        let report = ingest_video(&mut db, &format!("c{seed}"), &clip, &config).unwrap();
+        ids.push(report.v_id);
+    }
+    let engine = QueryEngine::from_database(&mut db).unwrap();
+
+    // Querying with the ingested clip itself must put it first with ~zero
+    // DTW distance.
+    let target = generator.generate(Category::Cartoon, 1).unwrap();
+    let matches = engine.query_video(&target, &KeyframeConfig::default(), &QueryOptions::default());
+    assert_eq!(matches[0].v_id, ids[1], "{matches:?}");
+    assert!(matches[0].distance < 1e-9);
+    if matches.len() > 1 {
+        assert!(matches[1].distance > matches[0].distance);
+    }
+}
+
+#[test]
+fn feature_strings_survive_storage_byte_exact_ranking() {
+    // The engine built from the database (string round trip) must rank a
+    // self-query identically to one built in memory.
+    let mut db = CbvrDatabase::in_memory().unwrap();
+    let generator = small_generator();
+    let clip = generator.generate(Category::News, 4).unwrap();
+    let report = ingest_video(&mut db, "news", &clip, &IngestConfig::default()).unwrap();
+    let engine = QueryEngine::from_database(&mut db).unwrap();
+
+    let kf_index = report.keyframe_indices[0];
+    let frame = clip.frame(kf_index).unwrap();
+    let results = engine.query_frame(frame, &QueryOptions::default());
+    assert_eq!(results[0].i_id, report.keyframe_ids[0]);
+    assert!(
+        (results[0].score - 1.0).abs() < 1e-6,
+        "stored features should reproduce a perfect self-match, got {}",
+        results[0].score
+    );
+}
+
+#[test]
+fn deleting_a_video_removes_it_from_future_queries() {
+    let mut db = CbvrDatabase::in_memory().unwrap();
+    let generator = small_generator();
+    let config = IngestConfig::default();
+    let a = ingest_video(&mut db, "keep", &generator.generate(Category::Sports, 1).unwrap(), &config)
+        .unwrap();
+    let b = ingest_video(&mut db, "drop", &generator.generate(Category::Sports, 2).unwrap(), &config)
+        .unwrap();
+
+    db.delete_video(b.v_id).unwrap();
+    let engine = QueryEngine::from_database(&mut db).unwrap();
+    assert_eq!(engine.video_ids(), vec![a.v_id]);
+    let probe = generator.generate(Category::Sports, 3).unwrap();
+    let results = engine.query_frame(probe.frame(0).unwrap(), &QueryOptions::default());
+    assert!(results.iter().all(|m| m.v_id == a.v_id));
+}
+
+#[test]
+fn metadata_and_content_queries_agree_on_names() {
+    let mut db = CbvrDatabase::in_memory().unwrap();
+    let generator = small_generator();
+    let config = IngestConfig::default();
+    for seed in 0..2u64 {
+        let clip = generator.generate(Category::ELearning, seed).unwrap();
+        ingest_video(&mut db, &format!("lecture_{seed:02}"), &clip, &config).unwrap();
+    }
+    let engine = QueryEngine::from_database(&mut db).unwrap();
+    let by_name = engine.find_videos_by_name("LECTURE");
+    assert_eq!(by_name.len(), 2);
+    for (v_id, name) in by_name {
+        assert_eq!(engine.video_name(v_id), Some(name.as_str()));
+    }
+}

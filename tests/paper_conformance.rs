@@ -1,0 +1,179 @@
+//! Conformance to the paper's published artifacts: Fig. 8 string formats,
+//! §4.2's exact thresholds and quirks, §4.1's threshold semantics, and
+//! the Fig. 1/§3.4 schema shape.
+
+use cbvr::features::correlogram::AutoColorCorrelogram;
+use cbvr::features::gabor::{GaborTexture, DIM as GABOR_DIM};
+use cbvr::features::naive::NaiveSignature;
+use cbvr::features::tamura::{TamuraTexture, DIM as TAMURA_DIM};
+use cbvr::imgproc::Histogram256;
+use cbvr::index::{paper_range, FIRST_LEVEL_THRESHOLD, LOWER_LEVEL_THRESHOLD};
+use cbvr::keyframe::KeyframeConfig;
+use cbvr::prelude::*;
+
+fn sample_frame() -> RgbImage {
+    let generator = VideoGenerator::new(GeneratorConfig::default()).unwrap();
+    generator.generate(Category::Movie, 8).unwrap().frame(0).unwrap().clone()
+}
+
+#[test]
+fn fig8_histogram_string_format() {
+    // `Histogram : RGB 256 <counts>` — header plus exactly 256 values.
+    let set = FeatureSet::extract(&sample_frame());
+    let s = set.histogram.to_feature_string();
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    assert_eq!(tokens[0], "RGB");
+    assert_eq!(tokens[1], "256");
+    assert_eq!(tokens.len(), 2 + 256);
+}
+
+#[test]
+fn fig8_gabor_has_sixty_values() {
+    // The Fig. 8 output starts `gabor 60 ...` — M=5 scales × N=6
+    // orientations × (mean, std).
+    assert_eq!(GABOR_DIM, 60);
+    let g = GaborTexture::extract(&sample_frame());
+    let s = g.to_feature_string();
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    assert_eq!(tokens[0], "gabor");
+    assert_eq!(tokens[1], "60");
+    assert_eq!(tokens.len(), 2 + 60);
+}
+
+#[test]
+fn fig8_tamura_has_eighteen_values() {
+    // `Tamura 18 <coarseness> <contrast> <16 directionality bins>`.
+    assert_eq!(TAMURA_DIM, 18);
+    let t = TamuraTexture::extract(&sample_frame());
+    let tokens: Vec<String> = t.to_feature_string().split_whitespace().map(String::from).collect();
+    assert_eq!(tokens[0], "Tamura");
+    assert_eq!(tokens[1], "18");
+    assert_eq!(tokens.len(), 2 + 18);
+}
+
+#[test]
+fn fig8_acc_header_is_max_distance_four() {
+    let acc = AutoColorCorrelogram::extract(&sample_frame());
+    let s = acc.to_feature_string();
+    assert!(s.starts_with("ACC 4 "), "{}", &s[..20.min(s.len())]);
+}
+
+#[test]
+fn fig8_naive_vector_uses_java_awt_color_syntax() {
+    let n = NaiveSignature::extract(&sample_frame());
+    let s = n.to_feature_string();
+    assert!(s.starts_with("NaiveVector java.awt.Color[r="), "{}", &s[..40.min(s.len())]);
+    // 25 color tokens.
+    assert_eq!(s.matches("java.awt.Color[").count(), 25);
+    // And it parses the paper's own example line.
+    let paper_line = "NaiveVector java.awt.Color[r=0,g=0,b=0] java.awt.Color[r=0,g=0,b=0] \
+                      java.awt.Color[r=0,g=0,b=0] java.awt.Color[r=0,g=2,b=1] \
+                      java.awt.Color[r=159,g=172,b=164] java.awt.Color[r=62,g=49,b=29] \
+                      java.awt.Color[r=68,g=54,b=33] java.awt.Color[r=111,g=92,b=64] \
+                      java.awt.Color[r=166,g=179,b=165] java.awt.Color[r=119,g=125,b=113] \
+                      java.awt.Color[r=183,g=151,b=135] java.awt.Color[r=139,g=111,b=89] \
+                      java.awt.Color[r=167,g=137,b=115] java.awt.Color[r=150,g=131,b=107] \
+                      java.awt.Color[r=132,g=113,b=80] java.awt.Color[r=156,g=124,b=102] \
+                      java.awt.Color[r=75,g=61,b=36] java.awt.Color[r=168,g=136,b=114] \
+                      java.awt.Color[r=155,g=129,b=110] java.awt.Color[r=125,g=110,b=79] \
+                      java.awt.Color[r=58,g=32,b=30] java.awt.Color[r=69,g=53,b=38] \
+                      java.awt.Color[r=66,g=59,b=42] java.awt.Color[r=97,g=107,b=100] \
+                      java.awt.Color[r=163,g=168,b=152]";
+    let parsed = NaiveSignature::parse(paper_line).unwrap();
+    assert_eq!(parsed.colors()[4], Rgb::new(159, 172, 164));
+}
+
+#[test]
+fn section_4_2_thresholds_are_55_then_60() {
+    assert_eq!(FIRST_LEVEL_THRESHOLD, 55.0);
+    assert_eq!(LOWER_LEVEL_THRESHOLD, 60.0);
+}
+
+#[test]
+fn section_4_2_first_level_quirk_defaults_to_upper_half() {
+    // When the lower half holds ≤ 55% the pseudocode's else-branch takes
+    // [128,255] unconditionally — even for a perfectly balanced image.
+    let mut h = Histogram256::new();
+    for v in [10u8, 200] {
+        for _ in 0..50 {
+            h.record(v);
+        }
+    }
+    let r = paper_range(&h);
+    assert_eq!((r.min, r.max), (128, 255));
+}
+
+#[test]
+fn section_4_2_example_output_min0_max127_is_reachable() {
+    // The Fig. 8 example reports `min = 0, max=127`: 70% of mass in the
+    // lower half, split across its quarters so no deeper level wins.
+    let mut h = Histogram256::new();
+    for _ in 0..35 {
+        h.record(20);
+    }
+    for _ in 0..35 {
+        h.record(100);
+    }
+    for _ in 0..30 {
+        h.record(200);
+    }
+    let r = paper_range(&h);
+    assert_eq!((r.min, r.max), (0, 127));
+}
+
+#[test]
+fn section_4_1_default_threshold_is_800() {
+    assert_eq!(KeyframeConfig::default().threshold, 800.0);
+}
+
+#[test]
+fn schema_key_frames_row_carries_every_paper_column() {
+    // §3.4: i_id, i_name, image, min, max, sch, glcm, gabor, tamura,
+    // majorregions, v_id — plus the documented extension columns.
+    let mut db = CbvrDatabase::in_memory().unwrap();
+    let generator = VideoGenerator::new(GeneratorConfig {
+        width: 48,
+        height: 36,
+        shots_per_video: 2,
+        min_shot_frames: 3,
+        max_shot_frames: 4,
+        ..GeneratorConfig::default()
+    })
+    .unwrap();
+    let clip = generator.generate(Category::News, 1).unwrap();
+    let report = ingest_video(&mut db, "news.vsc", &clip, &IngestConfig::default()).unwrap();
+    let row = db.get_key_frame(report.keyframe_ids[0]).unwrap();
+
+    assert!(row.i_name.starts_with("v1_kf_"));
+    assert!(!row.image.is_empty());
+    assert!(row.min <= row.max);
+    assert!(row.sch.starts_with("RGB 256"));
+    assert!(row.glcm.starts_with("GLCM "));
+    assert!(row.gabor.starts_with("gabor 60"));
+    assert!(row.tamura.starts_with("Tamura 18"));
+    assert!(row.acc.starts_with("ACC 4"));
+    assert!(row.naive.starts_with("NaiveVector"));
+    assert!(row.srg.starts_with("SRG "));
+    assert_eq!(row.v_id, report.v_id);
+    // MAJORREGIONS mirrors the SRG string's third value.
+    let major: u32 = row.srg.split_whitespace().nth(3).unwrap().parse().unwrap();
+    assert_eq!(row.majorregions, major);
+}
+
+#[test]
+fn fig1_video_store_schema_round_trips() {
+    // Video_store(v_id, v_name, video, stream, dostore).
+    let mut db = CbvrDatabase::in_memory().unwrap();
+    let record = VideoRecord {
+        v_name: "named.vsc".into(),
+        video: vec![1, 2, 3],
+        stream: vec![4, 5],
+        dostore: 1_751_700_000,
+    };
+    let v_id = db.insert_video(&record).unwrap();
+    let full = db.get_video(v_id).unwrap();
+    assert_eq!(full.v_name, "named.vsc");
+    assert_eq!(full.row.dostore, 1_751_700_000);
+    assert_eq!(db.read_video_bytes(&full.row).unwrap(), vec![1, 2, 3]);
+    assert_eq!(db.read_stream_bytes(&full.row).unwrap(), vec![4, 5]);
+}
