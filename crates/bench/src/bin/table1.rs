@@ -55,8 +55,7 @@ fn main() {
     let report = run_table1(&config).expect("table 1 experiment failed");
     println!("{}", report.render());
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serializable"))
-            .expect("write json");
+        std::fs::write(&path, report.to_json_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
     if !report.shape.all_pass() {

@@ -15,6 +15,7 @@
 use crate::dtw::dtw_distance;
 use crate::error::Result;
 use crate::ingest::extract_feature_sets_parallel;
+use crate::pool::{ExecPool, TopK, THREADS_AUTO};
 use crate::score::ScoreCalibration;
 use crate::weights::FeatureWeights;
 use cbvr_features::{FeatureKind, FeatureSet};
@@ -78,6 +79,10 @@ pub struct QueryOptions {
     pub use_index: bool,
     /// Normalisation applied to the query frame before extraction.
     pub preprocess: QueryPreprocess,
+    /// Concurrent participants for scoring and DTW on the shared
+    /// [`ExecPool`] ([`THREADS_AUTO`] = all cores). Results are
+    /// identical for every value — `1` is the bit-exact serial path.
+    pub threads: usize,
 }
 
 impl Default for QueryOptions {
@@ -87,6 +92,7 @@ impl Default for QueryOptions {
             weights: FeatureWeights::default(),
             use_index: true,
             preprocess: QueryPreprocess::None,
+            threads: THREADS_AUTO,
         }
     }
 }
@@ -109,6 +115,31 @@ pub struct VideoMatch {
     pub v_id: u64,
     /// DTW distance of key-frame feature sequences, lower is better.
     pub distance: f64,
+}
+
+/// Frame ranking: score descending, ties broken by `i_id` ascending.
+/// Total (NaN scores compare equal, the id decides), which is what makes
+/// parallel top-k selection bit-identical to the serial sort.
+fn rank_frame_matches(a: &FrameMatch, b: &FrameMatch) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.i_id.cmp(&b.i_id))
+}
+
+/// Video ranking: DTW distance ascending, ties broken by `v_id` ascending.
+fn rank_video_matches(a: &VideoMatch, b: &VideoMatch) -> std::cmp::Ordering {
+    a.distance
+        .partial_cmp(&b.distance)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.v_id.cmp(&b.v_id))
+}
+
+/// Chunk granularity for candidate scoring: small enough for stealing to
+/// balance uneven chunks, large enough to amortise the claim `fetch_add`
+/// and the per-chunk top-k merge.
+fn scoring_chunk(len: usize) -> usize {
+    (len / 64).clamp(16, 256)
 }
 
 /// The in-memory retrieval engine.
@@ -238,26 +269,31 @@ impl QueryEngine {
         range: RangeKey,
         options: &QueryOptions,
     ) -> Vec<FrameMatch> {
-        let mut matches: Vec<FrameMatch> = self
-            .candidates(range, options.use_index)
-            .into_iter()
-            .map(|i| {
+        let candidates = self.candidates(range, options.use_index);
+        if candidates.is_empty() || options.k == 0 {
+            return Vec::new();
+        }
+        // Candidates are scored on the shared pool; each chunk keeps a
+        // bounded top-k heap (O(n log k), no full match vector) and folds
+        // it into the shared accumulator. `rank_frame_matches` is a total
+        // order, so the selected set — and its sorted order — is
+        // independent of how chunks were claimed: any `threads` value
+        // returns exactly the serial result.
+        let merged = std::sync::Mutex::new(TopK::new(options.k, rank_frame_matches));
+        let chunk = scoring_chunk(candidates.len());
+        ExecPool::global().run(candidates.len(), chunk, options.threads, |span| {
+            let mut local = TopK::new(options.k, rank_frame_matches);
+            for &i in &candidates[span] {
                 let e = &self.entries[i];
-                FrameMatch {
+                local.push(FrameMatch {
                     i_id: e.i_id,
                     v_id: e.v_id,
                     score: self.combined_similarity(features, &e.features, &options.weights),
-                }
-            })
-            .collect();
-        matches.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.i_id.cmp(&b.i_id))
+                });
+            }
+            merged.lock().expect("top-k accumulator poisoned").merge(local);
         });
-        matches.truncate(options.k);
-        matches
+        merged.into_inner().expect("top-k accumulator poisoned").into_sorted()
     }
 
     /// How many candidates the index yields for a query frame (ablation
@@ -276,7 +312,7 @@ impl QueryEngine {
     ) -> Vec<VideoMatch> {
         let keyframes = extract_keyframes(query, keyframe_config);
         let frames: Vec<&RgbImage> = keyframes.iter().map(|k| &k.frame).collect();
-        let query_features = extract_feature_sets_parallel(&frames, 4);
+        let query_features = extract_feature_sets_parallel(&frames, options.threads);
         self.query_feature_sequence(&query_features, options)
     }
 
@@ -286,25 +322,27 @@ impl QueryEngine {
         query: &[FeatureSet],
         options: &QueryOptions,
     ) -> Vec<VideoMatch> {
-        let mut matches: Vec<VideoMatch> = self
-            .video_sequences
-            .iter()
-            .map(|(&v_id, indices)| {
-                let sequence: Vec<&FeatureSet> =
-                    indices.iter().map(|&i| &self.entries[i].features).collect();
-                let query_refs: Vec<&FeatureSet> = query.iter().collect();
-                let distance = dtw_distance(&query_refs, &sequence, |a, b| {
-                    1.0 - self.combined_similarity(a, b, &options.weights)
-                });
-                VideoMatch { v_id, distance }
-            })
-            .collect();
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.v_id.cmp(&b.v_id))
+        if options.k == 0 {
+            return Vec::new();
+        }
+        // The query reference vector is shared by every alignment; build
+        // it once instead of once per catalog video.
+        let query_refs: Vec<&FeatureSet> = query.iter().collect();
+        let videos: Vec<(&u64, &Vec<usize>)> = self.video_sequences.iter().collect();
+        // One DTW per video, chunk size 1: alignments dominate the cost
+        // and vary with sequence length, so fine-grained stealing
+        // balances them.
+        let mut matches = ExecPool::global().map(&videos, 1, options.threads, |_, &(&v_id, indices)| {
+            let sequence: Vec<&FeatureSet> =
+                indices.iter().map(|&i| &self.entries[i].features).collect();
+            let distance = dtw_distance(&query_refs, &sequence, |a, b| {
+                1.0 - self.combined_similarity(a, b, &options.weights)
+            });
+            VideoMatch { v_id, distance }
         });
+        // `rank_video_matches` is total, so the sort erases the
+        // HashMap's nondeterministic iteration order.
+        matches.sort_by(rank_video_matches);
         matches.truncate(options.k);
         matches
     }

@@ -65,26 +65,14 @@ pub struct IngestReport {
     pub ranges: Vec<RangeKey>,
 }
 
-/// Extract all seven features for each frame, fanning out across
-/// `threads` workers (crossbeam scoped threads; order is preserved).
+/// Extract all seven features for each frame on the shared
+/// [`crate::pool::ExecPool`] (order is preserved).
+///
+/// Chunk size 1: per-frame cost varies wildly (region growing and Gabor
+/// depend on content), so fine-grained stealing keeps workers busy where
+/// the old fixed `div_ceil` split left them idle behind one slow chunk.
 pub fn extract_feature_sets_parallel(frames: &[&RgbImage], threads: usize) -> Vec<FeatureSet> {
-    let threads = threads.clamp(1, frames.len().max(1));
-    if threads <= 1 || frames.len() <= 1 {
-        return frames.iter().map(|f| FeatureSet::extract(f)).collect();
-    }
-    let mut out: Vec<Option<FeatureSet>> = vec![None; frames.len()];
-    let chunk = frames.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (frame_chunk, out_chunk) in frames.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
-                for (frame, slot) in frame_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *slot = Some(FeatureSet::extract(frame));
-                }
-            });
-        }
-    })
-    .expect("feature extraction worker panicked");
-    out.into_iter().map(|s| s.expect("every slot filled")).collect()
+    crate::pool::ExecPool::global().map(frames, 1, threads, |_, frame| FeatureSet::extract(frame))
 }
 
 /// Ingest one video under `name`. The whole operation is one atomic

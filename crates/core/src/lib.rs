@@ -20,7 +20,9 @@
 //!   over key-frame feature sequences);
 //! - [`score`] — distance→similarity calibration so heterogeneous
 //!   feature distances combine on a common scale;
-//! - [`weights`] — per-feature weights for the combined ranking.
+//! - [`weights`] — per-feature weights for the combined ranking;
+//! - [`pool`] — the shared work-stealing execution pool every parallel
+//!   path (scoring, DTW, extraction, calibration) runs on.
 #![warn(missing_docs)]
 
 
@@ -29,6 +31,7 @@ pub mod engine;
 pub mod feedback;
 pub mod error;
 pub mod ingest;
+pub mod pool;
 pub mod score;
 pub mod weights;
 
@@ -36,6 +39,7 @@ pub use engine::{FrameMatch, QueryEngine, QueryOptions, QueryPreprocess, VideoMa
 pub use feedback::adapt_weights;
 pub use error::{CoreError, Result};
 pub use ingest::{ingest_video, IngestConfig, IngestReport};
+pub use pool::{ExecPool, THREADS_AUTO};
 pub use weights::FeatureWeights;
 
 // Re-exports of the substrate types the public API surfaces.

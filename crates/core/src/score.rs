@@ -14,20 +14,22 @@
 //! every feature's "typical" dissimilarity lands at the same 0.5, so no
 //! feature dominates the weighted sum by unit choice alone.
 
+use crate::pool::{ExecPool, THREADS_AUTO};
 use cbvr_features::{FeatureKind, FeatureSet};
-use serde::{Deserialize, Serialize};
 
-/// Per-feature distance scales (medians of sampled pairs).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// Per-feature distance scales (medians of sampled pairs), indexed by
+/// the kind's discriminant — [`ScoreCalibration::scale`] is a direct
+/// array load on the innermost scoring path, not a linear search.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScoreCalibration {
-    scales: Vec<(FeatureKind, f64)>,
+    scales: [f64; FeatureKind::ALL.len()],
 }
 
 impl Default for ScoreCalibration {
     /// Unit scales — usable, but [`ScoreCalibration::from_catalog`] is
     /// strictly better once data exists.
     fn default() -> Self {
-        ScoreCalibration { scales: FeatureKind::ALL.iter().map(|&k| (k, 1.0)).collect() }
+        ScoreCalibration { scales: [1.0; FeatureKind::ALL.len()] }
     }
 }
 
@@ -39,8 +41,11 @@ impl ScoreCalibration {
     /// over a deterministic sample of pairs. Degenerate cases (fewer than
     /// two sets, all-zero distances) keep scale 1.
     pub fn from_catalog(sets: &[&FeatureSet]) -> ScoreCalibration {
-        let mut scales = Vec::with_capacity(FeatureKind::ALL.len());
-        for &kind in &FeatureKind::ALL {
+        // The seven kinds sample independently (each has its own seeded
+        // pair stream), so they fan out across the shared pool. The
+        // output is placed by discriminant, not completion order, so the
+        // result is identical to a serial loop.
+        let per_kind = ExecPool::global().map(&FeatureKind::ALL, 1, THREADS_AUTO, |_, &kind| {
             let scale = if sets.len() < 2 {
                 1.0
             } else {
@@ -63,14 +68,18 @@ impl ScoreCalibration {
                 }
                 median_positive(&mut distances).unwrap_or(1.0)
             };
-            scales.push((kind, scale));
+            (kind, scale)
+        });
+        let mut scales = [1.0; FeatureKind::ALL.len()];
+        for (kind, scale) in per_kind {
+            scales[kind as usize] = scale;
         }
         ScoreCalibration { scales }
     }
 
     /// The scale for a kind.
     pub fn scale(&self, kind: FeatureKind) -> f64 {
-        self.scales.iter().find(|(k, _)| *k == kind).map_or(1.0, |(_, s)| *s)
+        self.scales[kind as usize]
     }
 
     /// Map a native distance to a similarity in `(0, 1]`.

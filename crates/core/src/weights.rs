@@ -6,11 +6,10 @@
 //! plain histogram lowest). The ablation bench sweeps these.
 
 use cbvr_features::FeatureKind;
-use serde::{Deserialize, Serialize};
 
 /// A weight per feature kind. Weights are non-negative; at least one must
 /// be positive for a combined query.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FeatureWeights {
     weights: Vec<(FeatureKind, f64)>,
 }

@@ -21,11 +21,10 @@ use cbvr_keyframe::{extract_keyframes, KeyframeConfig};
 use cbvr_storage::backend::Backend;
 use cbvr_storage::CbvrDatabase;
 use cbvr_video::{Category, GeneratorConfig, Video, VideoGenerator};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Corpus parameters.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CorpusConfig {
     /// Videos generated per category.
     pub videos_per_category: u32,

@@ -12,10 +12,9 @@ use cbvr_core::engine::QueryOptions;
 use cbvr_core::{FeatureWeights, Result};
 use cbvr_features::FeatureKind;
 use cbvr_video::Category;
-use serde::{Deserialize, Serialize};
 
 /// Experiment output.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DiscriminationReport {
     /// `(method, accuracy)` pairs, Table 1 method order.
     pub accuracy: Vec<(String, f64)>,

@@ -6,7 +6,6 @@
 //! precision decays as the cutoff grows. Single-feature orderings are
 //! reported as informational checks because they are corpus-dependent.
 
-use serde::{Deserialize, Serialize};
 
 /// The methods of Table 1, in column order.
 pub const METHODS: [&str; 7] =
@@ -28,7 +27,7 @@ pub const PAPER_TABLE1: [[f64; 4]; 7] = [
 ];
 
 /// One measured method row (precision at each [`CUTOFFS`] entry).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MethodPrecision {
     /// Method name (one of [`METHODS`]).
     pub method: String,
@@ -44,7 +43,7 @@ pub struct MethodPrecision {
 /// corpus-dependent (on the synthetic corpus, color statistics are
 /// procedurally category-coded, so color features outperform texture —
 /// see EXPERIMENTS.md).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShapeCheck {
     /// REQUIRED: "our combined approach outperforms all the other
     /// methods" at every cutoff.

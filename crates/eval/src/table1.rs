@@ -21,7 +21,6 @@ use cbvr_core::{FeatureWeights, Result};
 use cbvr_features::{FeatureKind, FeatureSet};
 use cbvr_imgproc::Histogram256;
 use cbvr_index::paper_range;
-use serde::{Deserialize, Serialize};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -63,7 +62,7 @@ impl Default for Table1Config {
 pub type Table1Row = MethodPrecision;
 
 /// The full experiment output.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table1Report {
     /// Measured rows, in paper column order (Combined last).
     pub measured: Vec<Table1Row>,
@@ -199,7 +198,78 @@ pub fn run_table1_on(corpus: &Corpus, config: &Table1Config) -> Result<Table1Rep
     })
 }
 
+fn json_rows(rows: &[Table1Row], indent: &str, pretty: bool) -> String {
+    let sep = if pretty { format!("\n{indent}") } else { String::new() };
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let p: Vec<String> = r.precision.iter().map(|v| format!("{v}")).collect();
+            format!(
+                "{{\"method\":{},\"precision\":[{}]}}",
+                json_string(&r.method),
+                p.join(",")
+            )
+        })
+        .collect();
+    if pretty && !items.is_empty() {
+        format!("[{sep}{}\n{}]", items.join(&format!(",{sep}")), &indent[2..])
+    } else {
+        format!("[{}]", items.join(","))
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl Table1Report {
+    /// Serialize as one-line JSON (field layout matches what
+    /// `serde_json::to_string` produced before serde was dropped for the
+    /// offline build).
+    pub fn to_json(&self) -> String {
+        self.json_impl(false)
+    }
+
+    /// Serialize as indented JSON for the `--json` report file.
+    pub fn to_json_pretty(&self) -> String {
+        self.json_impl(true)
+    }
+
+    fn json_impl(&self, pretty: bool) -> String {
+        let (nl, ind) = if pretty { ("\n", "  ") } else { ("", "") };
+        let shape = &self.shape;
+        format!(
+            "{{{nl}{ind}\"measured\":{measured},{nl}{ind}\"measured_recall\":{recall},\
+             {nl}{ind}\"paper\":{paper},{nl}{ind}\"shape\":{{\
+             \"combined_wins_everywhere\":{cw},\"combined_decays_with_k\":{cd},\
+             \"methods_decaying\":{md},\"texture_beats_histogram\":{tb}}},\
+             {nl}{ind}\"catalog_size\":{cs},{nl}{ind}\"query_count\":{qc}{nl}}}",
+            measured = json_rows(&self.measured, "    ", pretty),
+            recall = json_rows(&self.measured_recall, "    ", pretty),
+            paper = json_rows(&self.paper, "    ", pretty),
+            cw = shape.combined_wins_everywhere,
+            cd = shape.combined_decays_with_k,
+            md = shape.methods_decaying,
+            tb = shape.texture_beats_histogram,
+            cs = self.catalog_size,
+            qc = self.query_count,
+        )
+    }
+
     /// Render the measured-vs-paper table as text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -363,7 +433,10 @@ mod tests {
     #[test]
     fn report_serialises() {
         let report = run_table1(&tiny()).unwrap();
-        let json = serde_json::to_string(&report).unwrap();
+        let json = report.to_json();
         assert!(json.contains("Combined"));
+        assert!(json.contains("\"catalog_size\""));
+        let pretty = report.to_json_pretty();
+        assert!(pretty.contains("\"measured\""));
     }
 }

@@ -29,7 +29,6 @@
 
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::{rgb_to_hsv, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Number of quantised HSV colors.
 pub const COLOR_BINS: usize = 64;
@@ -49,7 +48,7 @@ pub fn quantize_hsv(h: u16, s: u8, v: u8) -> u8 {
 }
 
 /// The §4.7 auto color correlogram descriptor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AutoColorCorrelogram {
     /// `values[c * MAX_DISTANCE + (d-1)]` = normalised autocorrelation of
     /// color `c` at distance `d`.

@@ -13,10 +13,9 @@ use crate::naive::NaiveSignature;
 use crate::region::RegionGrowing;
 use crate::tamura::TamuraTexture;
 use cbvr_imgproc::RgbImage;
-use serde::{Deserialize, Serialize};
 
 /// The seven features of the paper (Table 1 columns).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FeatureKind {
     /// Simple color histogram (§4.5) — Table 1 "Histogram".
     ColorHistogram,
@@ -86,7 +85,7 @@ impl std::fmt::Display for FeatureKind {
 }
 
 /// One extracted descriptor of any kind.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Descriptor {
     /// §4.5 simple color histogram.
     ColorHistogram(ColorHistogram),
@@ -176,6 +175,108 @@ impl Descriptor {
             FeatureKind::Naive => Descriptor::Naive(NaiveSignature::parse(s)?),
             FeatureKind::Regions => Descriptor::Regions(RegionGrowing::parse(s)?),
         })
+    }
+}
+
+/// A borrowed view of one feature descriptor.
+///
+/// [`crate::FeatureSet::descriptor_ref`] yields this without cloning the
+/// payload (histograms and correlograms are hundreds of floats), so
+/// serialisation and comparison paths can dispatch by kind at zero copy.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum DescriptorRef<'a> {
+    /// §4.5 simple color histogram.
+    ColorHistogram(&'a ColorHistogram),
+    /// §4.3 GLCM texture statistics.
+    Glcm(&'a GlcmTexture),
+    /// §4.4 Gabor filter-bank texture.
+    Gabor(&'a GaborTexture),
+    /// Tamura texture.
+    Tamura(&'a TamuraTexture),
+    /// §4.7 auto color correlogram.
+    Correlogram(&'a AutoColorCorrelogram),
+    /// §4.6 naive 25-point signature.
+    Naive(&'a NaiveSignature),
+    /// §4.8 region growing census.
+    Regions(&'a RegionGrowing),
+}
+
+impl<'a> DescriptorRef<'a> {
+    /// Which feature this descriptor is.
+    pub fn kind(&self) -> FeatureKind {
+        match self {
+            DescriptorRef::ColorHistogram(_) => FeatureKind::ColorHistogram,
+            DescriptorRef::Glcm(_) => FeatureKind::Glcm,
+            DescriptorRef::Gabor(_) => FeatureKind::Gabor,
+            DescriptorRef::Tamura(_) => FeatureKind::Tamura,
+            DescriptorRef::Correlogram(_) => FeatureKind::Correlogram,
+            DescriptorRef::Naive(_) => FeatureKind::Naive,
+            DescriptorRef::Regions(_) => FeatureKind::Regions,
+        }
+    }
+
+    /// The Oracle `VARCHAR2` serialisation (Fig. 8 formats).
+    pub fn to_feature_string(&self) -> String {
+        match self {
+            DescriptorRef::ColorHistogram(d) => d.to_feature_string(),
+            DescriptorRef::Glcm(d) => d.to_feature_string(),
+            DescriptorRef::Gabor(d) => d.to_feature_string(),
+            DescriptorRef::Tamura(d) => d.to_feature_string(),
+            DescriptorRef::Correlogram(d) => d.to_feature_string(),
+            DescriptorRef::Naive(d) => d.to_feature_string(),
+            DescriptorRef::Regions(d) => d.to_feature_string(),
+        }
+    }
+
+    /// Native distance to another borrowed descriptor of the *same* kind.
+    ///
+    /// # Errors
+    /// Returns [`FeatureError::Mismatch`] when kinds differ.
+    pub fn distance(&self, other: &DescriptorRef<'_>) -> Result<f64> {
+        match (self, other) {
+            (DescriptorRef::ColorHistogram(a), DescriptorRef::ColorHistogram(b)) => {
+                Ok(a.distance(b))
+            }
+            (DescriptorRef::Glcm(a), DescriptorRef::Glcm(b)) => Ok(a.distance(b)),
+            (DescriptorRef::Gabor(a), DescriptorRef::Gabor(b)) => Ok(a.distance(b)),
+            (DescriptorRef::Tamura(a), DescriptorRef::Tamura(b)) => Ok(a.distance(b)),
+            (DescriptorRef::Correlogram(a), DescriptorRef::Correlogram(b)) => Ok(a.distance(b)),
+            (DescriptorRef::Naive(a), DescriptorRef::Naive(b)) => Ok(a.distance(b)),
+            (DescriptorRef::Regions(a), DescriptorRef::Regions(b)) => Ok(a.distance(b)),
+            (a, b) => Err(FeatureError::Mismatch(format!(
+                "cannot compare {} with {}",
+                a.kind(),
+                b.kind()
+            ))),
+        }
+    }
+
+    /// Clone the payload into the owned [`Descriptor`] enum.
+    pub fn to_owned(&self) -> Descriptor {
+        match *self {
+            DescriptorRef::ColorHistogram(d) => Descriptor::ColorHistogram(d.clone()),
+            DescriptorRef::Glcm(d) => Descriptor::Glcm(*d),
+            DescriptorRef::Gabor(d) => Descriptor::Gabor(d.clone()),
+            DescriptorRef::Tamura(d) => Descriptor::Tamura(d.clone()),
+            DescriptorRef::Correlogram(d) => Descriptor::Correlogram(d.clone()),
+            DescriptorRef::Naive(d) => Descriptor::Naive(d.clone()),
+            DescriptorRef::Regions(d) => Descriptor::Regions(*d),
+        }
+    }
+}
+
+impl Descriptor {
+    /// A borrowed view of this owned descriptor.
+    pub fn as_ref(&self) -> DescriptorRef<'_> {
+        match self {
+            Descriptor::ColorHistogram(d) => DescriptorRef::ColorHistogram(d),
+            Descriptor::Glcm(d) => DescriptorRef::Glcm(d),
+            Descriptor::Gabor(d) => DescriptorRef::Gabor(d),
+            Descriptor::Tamura(d) => DescriptorRef::Tamura(d),
+            Descriptor::Correlogram(d) => DescriptorRef::Correlogram(d),
+            Descriptor::Naive(d) => DescriptorRef::Naive(d),
+            Descriptor::Regions(d) => DescriptorRef::Regions(d),
+        }
     }
 }
 

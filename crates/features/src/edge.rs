@@ -13,7 +13,6 @@
 
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::{GrayImage, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Grid side: 4×4 subimages.
 pub const GRID: usize = 4;
@@ -61,7 +60,7 @@ fn classify_block(a: f64, b: f64, c: f64, d: f64) -> Option<EdgeType> {
 }
 
 /// The 80-bin edge histogram descriptor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EdgeHistogram {
     /// Normalised bins: subimage-major, edge-type-minor.
     bins: Vec<f64>,

@@ -7,7 +7,7 @@
 //! per-kind.
 
 use crate::correlogram::AutoColorCorrelogram;
-use crate::descriptor::{Descriptor, FeatureKind};
+use crate::descriptor::{Descriptor, DescriptorRef, FeatureKind};
 use crate::error::Result;
 use crate::gabor::GaborTexture;
 use crate::glcm::GlcmTexture;
@@ -16,10 +16,9 @@ use crate::naive::NaiveSignature;
 use crate::region::RegionGrowing;
 use crate::tamura::TamuraTexture;
 use cbvr_imgproc::RgbImage;
-use serde::{Deserialize, Serialize};
 
 /// All seven descriptors of one key frame.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FeatureSet {
     /// §4.5 simple color histogram (`SCH` column).
     pub histogram: ColorHistogram,
@@ -51,17 +50,23 @@ impl FeatureSet {
         }
     }
 
-    /// Borrow one descriptor by kind (clones into the unified enum).
-    pub fn descriptor(&self, kind: FeatureKind) -> Descriptor {
+    /// Borrow one descriptor by kind, without cloning its payload.
+    pub fn descriptor_ref(&self, kind: FeatureKind) -> DescriptorRef<'_> {
         match kind {
-            FeatureKind::ColorHistogram => Descriptor::ColorHistogram(self.histogram.clone()),
-            FeatureKind::Glcm => Descriptor::Glcm(self.glcm),
-            FeatureKind::Gabor => Descriptor::Gabor(self.gabor.clone()),
-            FeatureKind::Tamura => Descriptor::Tamura(self.tamura.clone()),
-            FeatureKind::Correlogram => Descriptor::Correlogram(self.correlogram.clone()),
-            FeatureKind::Naive => Descriptor::Naive(self.naive.clone()),
-            FeatureKind::Regions => Descriptor::Regions(self.regions),
+            FeatureKind::ColorHistogram => DescriptorRef::ColorHistogram(&self.histogram),
+            FeatureKind::Glcm => DescriptorRef::Glcm(&self.glcm),
+            FeatureKind::Gabor => DescriptorRef::Gabor(&self.gabor),
+            FeatureKind::Tamura => DescriptorRef::Tamura(&self.tamura),
+            FeatureKind::Correlogram => DescriptorRef::Correlogram(&self.correlogram),
+            FeatureKind::Naive => DescriptorRef::Naive(&self.naive),
+            FeatureKind::Regions => DescriptorRef::Regions(&self.regions),
         }
+    }
+
+    /// Clone one descriptor into the owned enum (convenience — the
+    /// serialisation and comparison paths use [`FeatureSet::descriptor_ref`]).
+    pub fn descriptor(&self, kind: FeatureKind) -> Descriptor {
+        self.descriptor_ref(kind).to_owned()
     }
 
     /// Native per-kind distance between two feature sets.
@@ -82,7 +87,7 @@ impl FeatureSet {
     pub fn to_feature_strings(&self) -> Vec<(FeatureKind, String)> {
         FeatureKind::ALL
             .iter()
-            .map(|&k| (k, self.descriptor(k).to_feature_string()))
+            .map(|&k| (k, self.descriptor_ref(k).to_feature_string()))
             .collect()
     }
 
@@ -157,6 +162,28 @@ mod tests {
             let via_desc = a.descriptor(k).distance(&b.descriptor(k)).unwrap();
             assert!((via_set - via_desc).abs() < 1e-12, "{k}");
         }
+    }
+
+    #[test]
+    fn descriptor_ref_agrees_with_owned_descriptor() {
+        let a = FeatureSet::extract(&sample(0));
+        let b = FeatureSet::extract(&sample(90));
+        for k in FeatureKind::ALL {
+            assert_eq!(a.descriptor_ref(k).to_owned(), a.descriptor(k), "{k}");
+            assert_eq!(a.descriptor_ref(k).kind(), k);
+            assert_eq!(
+                a.descriptor_ref(k).to_feature_string(),
+                a.descriptor(k).to_feature_string(),
+                "{k}"
+            );
+            let via_ref = a.descriptor_ref(k).distance(&b.descriptor_ref(k)).unwrap();
+            assert!((via_ref - a.distance(&b, k)).abs() < 1e-12, "{k}");
+        }
+        // Mismatched kinds are rejected, as with owned descriptors.
+        assert!(a
+            .descriptor_ref(FeatureKind::Glcm)
+            .distance(&b.descriptor_ref(FeatureKind::Gabor))
+            .is_err());
     }
 
     #[test]

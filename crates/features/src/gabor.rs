@@ -25,7 +25,6 @@
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::geom::{self, Interpolation};
 use cbvr_imgproc::{GrayImage, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Number of scales (M).
 pub const SCALES: usize = 5;
@@ -104,7 +103,7 @@ impl GaborKernel {
 }
 
 /// The §4.4 Gabor texture descriptor: 60 values.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GaborTexture {
     features: Vec<f64>,
 }

@@ -22,13 +22,12 @@
 
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::{GrayImage, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Number of gray levels tabulated.
 const LEVELS: usize = 256;
 
 /// The Haralick statistics derived from the co-occurrence matrix.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GlcmTexture {
     /// Number of (symmetric) co-occurrence observations.
     pub pixel_counter: u64,

@@ -13,7 +13,6 @@
 use crate::distance;
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::{Rgb, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Number of histogram bins.
 pub const BINS: usize = 256;
@@ -29,7 +28,7 @@ pub fn quantize_rgb_332(p: Rgb) -> u8 {
 }
 
 /// The §4.5 simple color histogram descriptor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ColorHistogram {
     counts: Vec<u32>,
 }

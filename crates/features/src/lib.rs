@@ -51,6 +51,6 @@ pub mod naive;
 pub mod region;
 pub mod tamura;
 
-pub use descriptor::{Descriptor, FeatureKind};
+pub use descriptor::{Descriptor, DescriptorRef, FeatureKind};
 pub use error::{FeatureError, Result};
 pub use extract::FeatureSet;

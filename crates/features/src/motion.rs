@@ -17,7 +17,6 @@
 
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::RgbImage;
-use serde::{Deserialize, Serialize};
 
 /// Magnitude histogram bins.
 pub const MAG_BINS: usize = 8;
@@ -27,7 +26,7 @@ const BLOCK: u32 = 8;
 const BIN_WIDTH: f64 = 4.0;
 
 /// The motion activity descriptor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MotionActivity {
     /// Mean of per-pair mean absolute differences.
     pub mean_intensity: f64,

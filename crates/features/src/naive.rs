@@ -13,7 +13,6 @@
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::geom::{self, Interpolation};
 use cbvr_imgproc::{Rgb, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Canvas side the frame is rescaled to before sampling.
 pub const BASE_SIZE: u32 = 300;
@@ -28,7 +27,7 @@ fn grid_position(i: usize) -> f64 {
 }
 
 /// The 25-point mean-color signature.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NaiveSignature {
     /// Row-major 5×5 grid of mean colors.
     signature: Vec<Rgb>,

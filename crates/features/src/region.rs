@@ -22,7 +22,6 @@ use crate::error::{FeatureError, Result};
 use cbvr_imgproc::morph::paper_morphology_chain;
 use cbvr_imgproc::threshold::binarize_fuzzy;
 use cbvr_imgproc::{GrayImage, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Tunables for the region grower.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,7 +39,7 @@ impl Default for RegionConfig {
 }
 
 /// Segmentation census of one frame.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RegionGrowing {
     /// Number of connected components (foreground and background alike,
     /// as the pseudocode counts them).

@@ -19,7 +19,6 @@
 
 use crate::error::{FeatureError, Result};
 use cbvr_imgproc::{GrayImage, RgbImage};
-use serde::{Deserialize, Serialize};
 
 /// Directionality histogram bins.
 pub const DIR_BINS: usize = 16;
@@ -31,7 +30,7 @@ const MAX_K: u32 = 5;
 const DIR_THRESHOLD: f64 = 12.0;
 
 /// The Tamura descriptor.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TamuraTexture {
     /// Mean winning window size, in `[2, 2^MAX_K]` (0 for degenerate images).
     pub coarseness: f64,

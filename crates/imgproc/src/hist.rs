@@ -6,10 +6,9 @@
 
 use crate::image::{GrayImage, RgbImage};
 use crate::pixel::Pixel;
-use serde::{Deserialize, Serialize};
 
 /// A 256-bin histogram of 8-bit intensities.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram256 {
     bins: Vec<u64>,
 }

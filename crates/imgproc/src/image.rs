@@ -6,18 +6,16 @@
 
 use crate::error::{ImgError, Result};
 use crate::pixel::{Gray, Pixel, Rgb};
-use serde::{Deserialize, Serialize};
 
 /// A packed row-major image with `u8` channels.
 ///
 /// Coordinates are `(x, y)` with the origin at the top-left corner,
 /// matching the pseudocode's `pixels[w][h]` indexing.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Image<P: Pixel> {
     width: u32,
     height: u32,
     data: Vec<u8>,
-    #[serde(skip)]
     _marker: std::marker::PhantomData<P>,
 }
 

@@ -4,7 +4,6 @@
 //! the whole workspace standardises on `u8` channels. [`Pixel`] abstracts
 //! over the channel count so [`crate::image::Image`] can be generic.
 
-use serde::{Deserialize, Serialize};
 
 /// A packed pixel with a fixed number of `u8` channels.
 ///
@@ -32,7 +31,7 @@ pub trait Pixel: Copy + Clone + PartialEq + Eq + std::fmt::Debug + Default + Sen
 }
 
 /// 24-bit RGB pixel.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Hash)]
 pub struct Rgb {
     /// Red channel.
     pub r: u8,
@@ -91,7 +90,7 @@ impl Pixel for Rgb {
 }
 
 /// 8-bit grayscale pixel.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, Hash, PartialOrd, Ord)]
 pub struct Gray(pub u8);
 
 impl Gray {

@@ -11,12 +11,11 @@
 //!   must still reach frames filed under `[0,63]`).
 
 use crate::paper::RangeKey;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Aggregate statistics of an index (for Fig. 7 output and the ablation
 /// benches).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexStats {
     /// Total items indexed.
     pub items: usize,
@@ -30,7 +29,7 @@ pub struct IndexStats {
 
 /// A bucketed range index over items of type `T` (frame ids in the
 /// pipeline; any payload in tests).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RangeIndex<T> {
     buckets: BTreeMap<RangeKey, Vec<T>>,
     items: usize,

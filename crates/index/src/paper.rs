@@ -20,7 +20,6 @@
 //! sits exactly on a boundary bin.
 
 use cbvr_imgproc::Histogram256;
-use serde::{Deserialize, Serialize};
 
 /// First-level mass threshold, percent (pseudocode step 4.D).
 pub const FIRST_LEVEL_THRESHOLD: f64 = 55.0;
@@ -29,7 +28,7 @@ pub const LOWER_LEVEL_THRESHOLD: f64 = 60.0;
 
 /// An inclusive intensity range assigned by the range finder — the
 /// `MIN`/`MAX` columns of the `KEY_FRAMES` table.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RangeKey {
     /// Inclusive lower bound.
     pub min: u8,

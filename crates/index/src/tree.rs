@@ -9,10 +9,9 @@
 
 use crate::paper::RangeKey;
 use cbvr_imgproc::Histogram256;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a generalised range tree.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RangeTreeConfig {
     /// Mass thresholds (percent) per level; the tree is as deep as this
     /// vector. The paper is `[55.0, 60.0, 60.0]`.
@@ -44,7 +43,7 @@ impl RangeTreeConfig {
 }
 
 /// A generalised range-finder.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RangeTree {
     config: RangeTreeConfig,
 }

@@ -20,10 +20,9 @@ use crate::extractor::{signature_distance, Keyframe};
 use cbvr_features::naive::NaiveSignature;
 use cbvr_imgproc::RgbImage;
 use cbvr_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Adaptive detector parameters.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AdaptiveConfig {
     /// Sliding-window length (in preceding frame pairs).
     pub window: usize,

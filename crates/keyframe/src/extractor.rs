@@ -3,10 +3,9 @@
 use cbvr_features::naive::NaiveSignature;
 use cbvr_imgproc::RgbImage;
 use cbvr_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Which frame of a run of similar frames becomes the key frame.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Strategy {
     /// The paper's choice: "take 1st as key-frame".
     #[default]
@@ -16,7 +15,7 @@ pub enum Strategy {
 }
 
 /// Extraction parameters.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct KeyframeConfig {
     /// Similarity threshold on the raw signature distance; the paper uses
     /// `dist > 800.0` as the cut test.

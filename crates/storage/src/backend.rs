@@ -8,7 +8,7 @@
 //! the right state.
 
 use crate::error::{Result, StorageError};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -167,7 +167,7 @@ impl Default for MemBackend {
 
 impl Backend for MemBackend {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let data = self.data.lock();
+        let data = self.data.lock().expect("mutex poisoned");
         let start = offset as usize;
         let end = start + buf.len();
         if end > data.len() {
@@ -182,7 +182,7 @@ impl Backend for MemBackend {
 
     fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<()> {
         self.faults.consume()?;
-        let mut data = self.data.lock();
+        let mut data = self.data.lock().expect("mutex poisoned");
         let start = offset as usize;
         let end = start + buf.len();
         if end > data.len() {
@@ -193,12 +193,12 @@ impl Backend for MemBackend {
     }
 
     fn len(&mut self) -> Result<u64> {
-        Ok(self.data.lock().len() as u64)
+        Ok(self.data.lock().expect("mutex poisoned").len() as u64)
     }
 
     fn truncate(&mut self, len: u64) -> Result<()> {
         self.faults.consume()?;
-        let mut data = self.data.lock();
+        let mut data = self.data.lock().expect("mutex poisoned");
         data.truncate(len as usize);
         Ok(())
     }

@@ -13,14 +13,13 @@ use crate::backend::Backend;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
 use crate::pager::Pager;
-use serde::{Deserialize, Serialize};
 
 const HEADER_LEN: usize = 6;
 /// Payload bytes per blob page.
 pub const CHUNK: usize = PAGE_SIZE - HEADER_LEN;
 
 /// Handle to a stored blob.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct BlobRef {
     /// First page of the chain; [`NO_PAGE`] for the empty blob.
     pub head: PageId,

@@ -16,7 +16,6 @@
 use crate::codec::{RowReader, RowWriter};
 use crate::error::Result;
 use crate::heap::BlobRef;
-use serde::{Deserialize, Serialize};
 
 /// Insertion payload for `VIDEO_STORE` (ids are assigned by the engine).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -32,7 +31,7 @@ pub struct VideoRecord {
 }
 
 /// A stored `VIDEO_STORE` row (blobs as refs; materialise via the db).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VideoRow {
     /// Primary key.
     pub v_id: u64,

@@ -1,0 +1,245 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the criterion 0.5 surface its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each `iter` call warms up briefly, sizes a batch so
+//! one sample takes a few milliseconds, then records `sample_size` samples
+//! and reports the median, min and max nanoseconds per iteration. There is
+//! no statistical regression analysis or HTML report — numbers print to
+//! stdout in a `group/name/param  time: [...]` line, and a positional CLI
+//! argument filters benchmarks by substring (so
+//! `cargo bench --bench retrieval -- query_parallel` works as expected).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; owns the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Build from process arguments, keeping the first non-flag argument
+    /// as a substring filter (flags like `--bench` are cargo plumbing).
+    pub fn from_args() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|arg| !arg.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion::from_args()
+    }
+}
+
+/// Identifier for a parameterised benchmark: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("lookup", 1024)` renders as `lookup/1024`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples collected per benchmark (default 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&full) {
+            let mut bencher = Bencher::new(self.sample_size);
+            f(&mut bencher);
+            bencher.report(&full);
+        }
+        self
+    }
+
+    /// Run a benchmark against a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            let mut bencher = Bencher::new(self.sample_size);
+            f(&mut bencher, input);
+            bencher.report(&full);
+        }
+        self
+    }
+
+    /// End the group (retained for API compatibility; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher { sample_size, samples_ns: Vec::new() }
+    }
+
+    /// Time the closure: warm up, pick a batch size targeting a few
+    /// milliseconds per sample, then record `sample_size` samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~50ms elapse (at least once) to fault in
+        // caches and give an estimate of the per-iteration cost.
+        let warmup_budget = Duration::from_millis(50);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters == 0 || warmup_start.elapsed() < warmup_budget {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Size each sample at ~5ms, bounded so the whole benchmark stays
+        // near a couple of seconds even for very fast bodies.
+        let target_sample_ns = 5_000_000.0_f64;
+        let iters_per_sample = ((target_sample_ns / est_ns) as u64).clamp(1, 5_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<50} (no samples: iter was never called)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` invoking each `criterion_group!` runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("lookup", 1024).id, "lookup/1024");
+        let label = String::from("64x64");
+        assert_eq!(BenchmarkId::new("histogram", &label).id, "histogram/64x64");
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut bencher = Bencher::new(5);
+        bencher.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(bencher.samples_ns.len(), 5);
+        assert!(bencher.samples_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let criterion = Criterion { filter: Some("topk".into()) };
+        assert!(criterion.matches("retrieval/topk/4t"));
+        assert!(!criterion.matches("retrieval/full_sort"));
+        let unfiltered = Criterion { filter: None };
+        assert!(unfiltered.matches("anything"));
+    }
+}

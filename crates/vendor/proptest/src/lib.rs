@@ -1,0 +1,576 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the proptest 1.x surface it actually uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! [`Just`], `prop_oneof!` (weighted and unweighted), string-literal
+//! strategies for simple character-class patterns, `collection::vec`,
+//! `any::<T>()` for primitive types and [`sample::Index`], and the
+//! `proptest!` test macro.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case panics with the regular assert
+//!   message; the per-test RNG seed is a stable hash of the test path, so
+//!   failures reproduce deterministically run-to-run.
+//! - String patterns are interpreted by a tiny character-class generator
+//!   (`".*"`, `"[ -~]{0,60}"` and friends), not a full regex engine.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = SmallRng;
+
+/// A generator of test values.
+///
+/// Unlike real proptest there is no value tree: `new_value` draws a fresh
+/// value directly and failing cases are not shrunk.
+pub trait Strategy {
+    /// The type of values this strategy yields.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feed generated values into `f` to pick a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Box the strategy, erasing its concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`] / `prop_oneof!`.
+trait DynStrategy<V> {
+    fn new_value_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.inner.new_value_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategy from a pattern literal.
+///
+/// Supported grammar (enough for this workspace's tests): `".*"` for
+/// arbitrary strings, and `"[<ranges>]{lo,hi}"` where `<ranges>` is a list
+/// of chars or `a-z` spans and `{lo,hi}` bounds the length. A bare class
+/// (no repetition) yields one char; anything else falls back to arbitrary.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        pattern_string(self, rng)
+    }
+}
+
+fn pattern_string(pattern: &str, rng: &mut TestRng) -> String {
+    if let Some((class, lo, hi)) = parse_class_pattern(pattern) {
+        let len = rng.gen_range(lo..=hi);
+        return (0..len).map(|_| class[rng.gen_range(0..class.len())]).collect();
+    }
+    // ".*" or any unrecognised pattern: arbitrary string, mixing ASCII,
+    // whitespace/control, and multi-byte unicode.
+    let len = rng.gen_range(0usize..=48);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..10) {
+            0 => char::from(rng.gen_range(0u8..0x20)), // control chars incl \n \r \t
+            1 => ['é', 'λ', '中', '🎥', '\u{7f}', '"', '\\'][rng.gen_range(0usize..7)],
+            _ => char::from(rng.gen_range(0x20u8..0x7f)),
+        })
+        .collect()
+}
+
+/// Parse `[<ranges>]{lo,hi}` / `[<ranges>]{n}` / `[<ranges>]` patterns.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class_src, tail) = rest.split_at(close);
+    let tail = &tail[1..];
+
+    let mut class = Vec::new();
+    let chars: Vec<char> = class_src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            for c in lo..=hi {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    if class.is_empty() {
+        return None;
+    }
+
+    if tail.is_empty() {
+        return Some((class, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((class, lo, hi))
+}
+
+/// Types with a canonical "any value" strategy, see [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy produced by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for the full value range of a primitive type.
+pub struct AnyPrimitive<T>(PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The canonical strategy for `T`: `any::<u8>()`, `any::<sample::Index>()`, …
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact `usize` or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "vec size range is empty");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from the size spec.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{AnyPrimitive, Arbitrary, Strategy, TestRng};
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `len` elements. Panics on 0.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Strategy for AnyPrimitive<Index> {
+        type Value = Index;
+        fn new_value(&self, rng: &mut TestRng) -> Index {
+            Index(rng.gen())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = AnyPrimitive<Index>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(PhantomData)
+        }
+    }
+}
+
+/// Module-path aliases so `prop::sample::Index` etc. resolve.
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
+/// Weighted union of strategies; built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn DynStrategy<V>>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Empty union; populate with [`Union::arm`].
+    pub fn new() -> Union<V> {
+        Union { arms: Vec::new(), total_weight: 0 }
+    }
+
+    /// Add an arm with the given relative weight.
+    pub fn arm<S>(mut self, weight: u32, strategy: S) -> Union<V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        assert!(weight > 0, "prop_oneof! arm weight must be positive");
+        self.arms.push((weight, Box::new(strategy)));
+        self.total_weight += u64::from(weight);
+        self
+    }
+}
+
+impl<V> Default for Union<V> {
+    fn default() -> Union<V> {
+        Union::new()
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (weight, arm) in &self.arms {
+            if pick < u64::from(*weight) {
+                return arm.new_value_dyn(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Deterministic RNG for a test, seeded from its module path + name.
+    /// Stable across runs so failures reproduce.
+    pub fn rng_for(test_path: &str) -> TestRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for byte in test_path.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+/// Define property tests: each `fn name(x in strategy, ...)` body runs for
+/// `cases` random draws (default 256, override with `#![proptest_config]`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted: `prop_oneof![a, b]` or
+/// `prop_oneof![3 => a, 1 => b]`. All arms must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new()$(.arm($weight, $strategy))+
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new()$(.arm(1, $strategy))+
+    };
+}
+
+/// Assert within a property body (no shrinking; plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property body (plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::rng_for;
+
+    #[test]
+    fn class_pattern_respects_bounds_and_alphabet() {
+        let mut rng = rng_for("class_pattern");
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[ -~]{0,60}", &mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_generates_varied_strings() {
+        let mut rng = rng_for("dot_star");
+        let samples: Vec<String> =
+            (0..100).map(|_| Strategy::new_value(&".*", &mut rng)).collect();
+        assert!(samples.iter().any(|s| s.is_empty()));
+        assert!(samples.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn union_honours_weights_roughly() {
+        let strategy = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = rng_for("union_weights");
+        let ones = (0..1000)
+            .filter(|_| Strategy::new_value(&strategy, &mut rng) == 1)
+            .count();
+        assert!((800..1000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn vec_and_flat_map_compose() {
+        let strategy = (1usize..5).prop_flat_map(|n| {
+            super::collection::vec(0u8..10, n).prop_map(move |v| (n, v))
+        });
+        let mut rng = rng_for("vec_flat_map");
+        for _ in 0..100 {
+            let (n, v) = Strategy::new_value(&strategy, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_multiple_args(a in 0u64..100, b in 0.0f64..1.0, idx in any::<prop::sample::Index>()) {
+            prop_assert!(a < 100);
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert_eq!(idx.index(7) < 7, true);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The generators: xoshiro256++ behind both [`SmallRng`] and [`StdRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ state, seeded via splitmix64.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Xoshiro256 {
+        // splitmix64 expansion of the 64-bit seed into 256 bits of state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The small, fast generator (matches the role of rand's `SmallRng`).
+#[derive(Clone, Debug)]
+pub struct SmallRng(Xoshiro256);
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng(Xoshiro256::from_u64(seed))
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// The default generator (matches the role of rand's `StdRng`).
+#[derive(Clone, Debug)]
+pub struct StdRng(Xoshiro256);
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Domain-separate from SmallRng so the two never correlate.
+        StdRng(Xoshiro256::from_u64(seed ^ 0xA076_1D64_78BD_642F))
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -13,7 +13,6 @@
 //! stack see bit-identical pixels regardless of the codec chosen.
 
 use crate::error::{Result, VideoError};
-use bytes::{BufMut, BytesMut};
 use cbvr_imgproc::RgbImage;
 
 /// Frame payload encoding used inside a VSC stream.
@@ -59,7 +58,7 @@ impl FrameCodec {
 /// Run-length encode a byte slice as `(count, value)` pairs with
 /// `count ∈ 1..=255`.
 pub fn rle_encode(data: &[u8]) -> Vec<u8> {
-    let mut out = BytesMut::with_capacity(data.len() / 4 + 16);
+    let mut out = Vec::<u8>::with_capacity(data.len() / 4 + 16);
     let mut i = 0;
     while i < data.len() {
         let value = data[i];
@@ -67,11 +66,11 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
         while run < 255 && i + run < data.len() && data[i + run] == value {
             run += 1;
         }
-        out.put_u8(run as u8);
-        out.put_u8(value);
+        out.push(run as u8);
+        out.push(value);
         i += run;
     }
-    out.to_vec()
+    out
 }
 
 /// Decode an RLE stream produced by [`rle_encode`]; `expected_len` guards

@@ -22,7 +22,6 @@
 use crate::codec::{decode_frame, encode_frame, FrameCodec};
 use crate::error::{Result, VideoError};
 use crate::video::Video;
-use bytes::{BufMut, BytesMut};
 use cbvr_imgproc::RgbImage;
 
 const MAGIC: &[u8; 4] = b"VSC1";
@@ -38,21 +37,21 @@ pub fn encode_vsc(video: &Video, codec: FrameCodec) -> Vec<u8> {
     }
 
     let total: usize = payloads.iter().map(Vec::len).sum();
-    let mut out = BytesMut::with_capacity(HEADER_LEN + 8 * payloads.len() + total);
-    out.put_slice(MAGIC);
-    out.put_u32_le(video.width());
-    out.put_u32_le(video.height());
-    out.put_u32_le(video.fps());
-    out.put_u32_le(payloads.len() as u32);
-    out.put_u8(codec.wire_id());
-    out.put_slice(&[0u8; 3]);
+    let mut out = Vec::<u8>::with_capacity(HEADER_LEN + 8 * payloads.len() + total);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(video.width()).to_le_bytes());
+    out.extend_from_slice(&(video.height()).to_le_bytes());
+    out.extend_from_slice(&(video.fps()).to_le_bytes());
+    out.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    out.push(codec.wire_id());
+    out.extend_from_slice(&[0u8; 3]);
     for p in &payloads {
-        out.put_u64_le(p.len() as u64);
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
     }
     for p in &payloads {
-        out.put_slice(p);
+        out.extend_from_slice(p);
     }
-    out.to_vec()
+    out
 }
 
 /// Parsed VSC header plus the frame length table.

@@ -30,10 +30,9 @@ use cbvr_imgproc::draw;
 use cbvr_imgproc::{hsv_to_rgb, Rgb, RgbImage};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Video category; doubles as the ground-truth relevance label.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// Slides with text: bright, static.
     ELearning,
@@ -76,7 +75,7 @@ impl std::fmt::Display for Category {
 }
 
 /// One shot: a contiguous run of frames rendered from a single scene seed.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Shot {
     /// Scene randomisation seed (palette, layout, motion phases).
     pub scene_seed: u64,
@@ -85,7 +84,7 @@ pub struct Shot {
 }
 
 /// A full clip script: category plus ordered shots with hard cuts between.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SceneScript {
     /// The clip's category.
     pub category: Category,
@@ -101,7 +100,7 @@ impl SceneScript {
 }
 
 /// Generator parameters.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GeneratorConfig {
     /// Frame width in pixels.
     pub width: u32,

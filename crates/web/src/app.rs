@@ -6,7 +6,7 @@ use cbvr_features::FeatureKind;
 use cbvr_imgproc::codec::{encode as encode_image, ImageFormat};
 use cbvr_storage::backend::Backend;
 use cbvr_storage::CbvrDatabase;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Shared application state: the database plus the loaded query engine.
@@ -57,9 +57,9 @@ impl<B: Backend> AppState<B> {
 
     /// Reload the engine after external database changes.
     pub fn reload_engine(&self) -> Result<(), cbvr_core::CoreError> {
-        let mut db = self.db.lock();
+        let mut db = self.db.lock().expect("mutex poisoned");
         let engine = QueryEngine::from_database(&mut db)?;
-        *self.engine.lock() = engine;
+        *self.engine.lock().expect("mutex poisoned") = engine;
         Ok(())
     }
 
@@ -81,7 +81,7 @@ impl<B: Backend> AppState<B> {
     }
 
     fn index(&self) -> Response {
-        let mut db = self.db.lock();
+        let mut db = self.db.lock().expect("mutex poisoned");
         let videos = match db.list_videos() {
             Ok(v) => v,
             Err(e) => return Response::text(StatusCode::InternalServerError, e.to_string()),
@@ -106,7 +106,7 @@ impl<B: Backend> AppState<B> {
         let Some(id) = request.param_u64("id") else {
             return Response::text(StatusCode::BadRequest, "missing ?id=N");
         };
-        let mut db = self.db.lock();
+        let mut db = self.db.lock().expect("mutex poisoned");
         let full = match db.get_video(id) {
             Ok(v) => v,
             Err(e) => return Response::text(StatusCode::NotFound, e.to_string()),
@@ -147,7 +147,7 @@ impl<B: Backend> AppState<B> {
         let Some(id) = request.param_u64("id") else {
             return Response::text(StatusCode::BadRequest, "missing ?id=N");
         };
-        let mut db = self.db.lock();
+        let mut db = self.db.lock().expect("mutex poisoned");
         let row = match db.get_key_frame(id) {
             Ok(r) => r,
             Err(e) => return Response::text(StatusCode::NotFound, e.to_string()),
@@ -164,7 +164,7 @@ impl<B: Backend> AppState<B> {
 
     fn search(&self, request: &Request) -> Response {
         let needle = request.param("name").unwrap_or("");
-        let engine = self.engine.lock();
+        let engine = self.engine.lock().expect("mutex poisoned");
         let hits = engine.find_videos_by_name(needle);
         let mut page = HtmlPage::new(&format!("search: '{needle}'"));
         if hits.is_empty() {
@@ -183,7 +183,7 @@ impl<B: Backend> AppState<B> {
     }
 
     fn stats(&self) -> Response {
-        let mut db = self.db.lock();
+        let mut db = self.db.lock().expect("mutex poisoned");
         match db.stats() {
             Ok(s) => Response::text(
                 StatusCode::Ok,
@@ -192,7 +192,7 @@ impl<B: Backend> AppState<B> {
                     s.pages,
                     s.videos,
                     s.key_frames,
-                    self.engine.lock().len()
+                    self.engine.lock().expect("mutex poisoned").len()
                 ),
             ),
             Err(e) => Response::text(StatusCode::InternalServerError, e.to_string()),
@@ -221,7 +221,7 @@ impl<B: Backend> AppState<B> {
             },
         };
         let use_index = request.param("no_index").is_none();
-        let engine = self.engine.lock();
+        let engine = self.engine.lock().expect("mutex poisoned");
         let results =
             engine.query_frame(&frame, &QueryOptions { k, weights, use_index, ..Default::default() });
 
@@ -419,7 +419,7 @@ mod tests {
         let app = state();
         assert!(body_str(&app.handle(&get("/stats"))).contains("videos: 2"));
         {
-            let mut db = app.db.lock();
+            let mut db = app.db.lock().expect("mutex poisoned");
             let generator =
                 VideoGenerator::new(GeneratorConfig { width: 32, height: 24, ..Default::default() })
                     .unwrap();

@@ -38,6 +38,8 @@ pub enum StatusCode {
     PayloadTooLarge,
     /// 500.
     InternalServerError,
+    /// 503 (handler pool saturated; retry later).
+    ServiceUnavailable,
 }
 
 impl StatusCode {
@@ -49,6 +51,7 @@ impl StatusCode {
             StatusCode::MethodNotAllowed => "405 Method Not Allowed",
             StatusCode::PayloadTooLarge => "413 Payload Too Large",
             StatusCode::InternalServerError => "500 Internal Server Error",
+            StatusCode::ServiceUnavailable => "503 Service Unavailable",
         }
     }
 }

@@ -1,49 +1,120 @@
-//! The threaded accept loop.
+//! The accept loop and its bounded handler pool.
+//!
+//! The old design spawned one OS thread per connection — unbounded: a
+//! connection burst spawned a thread burst, and a slow query pile-up
+//! could take the process down. Connections now flow through a bounded
+//! queue into a fixed set of handler threads; when the queue is full the
+//! accept thread answers `503 Service Unavailable` inline instead of
+//! queueing without limit (backpressure, not collapse).
 
 use crate::app::AppState;
-use crate::http::{read_request, Response};
+use crate::http::{read_request, Response, StatusCode};
 use cbvr_storage::backend::Backend;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// A running server: one accept thread, one handler thread per
-/// connection (connections are short-lived: `Connection: close`).
+/// Server sizing knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Handler threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted connections waiting for a free handler beyond the ones
+    /// in flight; `try_send` beyond this answers 503.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, queue_capacity: 64 }
+    }
+}
+
+/// A running server: one accept thread feeding `workers` handler threads
+/// through a bounded queue (connections are short-lived:
+/// `Connection: close`).
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    rejected: Arc<AtomicU64>,
 }
 
 impl Server {
-    /// Bind `addr` (use port 0 for an ephemeral port) and start serving.
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// with the default pool sizing.
     pub fn start<B: Backend + 'static>(
         state: Arc<AppState<B>>,
         addr: &str,
+    ) -> std::io::Result<Server> {
+        Server::start_with(state, addr, &ServerConfig::default())
+    }
+
+    /// Bind `addr` and start serving with explicit pool sizing.
+    pub fn start_with<B: Backend + 'static>(
+        state: Arc<AppState<B>>,
+        addr: &str,
+        config: &ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown_flag = Arc::clone(&shutdown);
+        let rejected = Arc::new(AtomicU64::new(0));
+        let rejected_count = Arc::clone(&rejected);
+
+        let workers = config.workers.max(1);
+        let (queue, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&receiver);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("cbvr-web-{i}"))
+                    .spawn(move || loop {
+                        let next = rx.lock().expect("handler queue poisoned").recv();
+                        match next {
+                            Ok(stream) => serve_connection(Arc::clone(&state), stream),
+                            Err(_) => break, // queue closed: server stopping
+                        }
+                    })
+                    .expect("spawn web handler")
+            })
+            .collect();
 
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if shutdown_flag.load(Ordering::SeqCst) {
                     break;
                 }
-                match stream {
-                    Ok(stream) => {
-                        let state = Arc::clone(&state);
-                        std::thread::spawn(move || serve_connection(state, stream));
+                let Ok(stream) = stream else { continue };
+                match queue.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Overloaded: answer inline rather than queue
+                        // without bound. Writing a short response is
+                        // cheap enough for the accept thread.
+                        rejected_count.fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let _ = Response::text(
+                            StatusCode::ServiceUnavailable,
+                            "server overloaded, retry later\n",
+                        )
+                        .write_to(&mut stream);
                     }
-                    Err(_) => continue,
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
+            // Dropping `queue` closes the channel; handlers drain what
+            // was accepted and then exit.
         });
 
-        Ok(Server { addr, shutdown, accept_thread: Some(accept_thread) })
+        Ok(Server { addr, shutdown, accept_thread: Some(accept_thread), workers, rejected })
     }
 
     /// The bound address (port resolved when binding to port 0).
@@ -51,13 +122,24 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting and join the accept thread. In-flight connections
-    /// finish on their own threads.
+    /// Connections answered 503 because the queue was full.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain queued connections and join every thread.
     pub fn stop(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a wake-up connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -65,11 +147,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+        self.join_all();
     }
 }
 
@@ -94,7 +172,7 @@ mod tests {
     use cbvr_video::{Category, GeneratorConfig, VideoGenerator};
     use std::io::{Read, Write};
 
-    fn running_server() -> Server {
+    fn running_server_with(config: &ServerConfig) -> Server {
         let mut db = CbvrDatabase::in_memory().unwrap();
         let generator = VideoGenerator::new(GeneratorConfig {
             width: 48,
@@ -108,7 +186,11 @@ mod tests {
         let clip = generator.generate(Category::Sports, 1).unwrap();
         ingest_video(&mut db, "over_http", &clip, &IngestConfig::default()).unwrap();
         let state = AppState::new(db).unwrap();
-        Server::start(state, "127.0.0.1:0").unwrap()
+        Server::start_with(state, "127.0.0.1:0", config).unwrap()
+    }
+
+    fn running_server() -> Server {
+        running_server_with(&ServerConfig::default())
     }
 
     fn http_get(addr: SocketAddr, path: &str) -> String {
@@ -171,6 +253,100 @@ mod tests {
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 405"), "{out}");
         server.stop();
+    }
+
+    #[test]
+    fn overload_answers_503_instead_of_queueing_unbounded() {
+        use std::time::Duration;
+        let server =
+            running_server_with(&ServerConfig { workers: 1, queue_capacity: 1 });
+
+        // Occupy the only handler with a half-sent request (read_request
+        // blocks until the blank line arrives).
+        let mut busy = TcpStream::connect(server.addr()).unwrap();
+        write!(busy, "GET / HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        // Flood: with the handler blocked and the queue bounded at 1,
+        // a connection soon gets an immediate 503.
+        let mut held = Vec::new();
+        let mut got_503 = false;
+        for _ in 0..10 {
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            write!(c, "GET / HTTP/1.1\r\n\r\n").unwrap();
+            c.set_read_timeout(Some(Duration::from_millis(300))).unwrap();
+            let mut buf = [0u8; 128];
+            match c.read(&mut buf) {
+                Ok(n) if n > 0 => {
+                    let text = String::from_utf8_lossy(&buf[..n]).into_owned();
+                    assert!(text.starts_with("HTTP/1.1 503"), "unexpected response: {text}");
+                    got_503 = true;
+                    break;
+                }
+                // Timed out: this connection is queued; keep it open so
+                // it keeps occupying the queue slot.
+                _ => held.push(c),
+            }
+        }
+        assert!(got_503, "bounded queue never pushed back");
+        assert!(server.rejected_count() >= 1);
+
+        // Release the handler: the stalled request completes and the
+        // queued connection still gets served (backpressure dropped new
+        // work, not accepted work).
+        write!(busy, "\r\n").unwrap();
+        let mut out = Vec::new();
+        busy.read_to_end(&mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200"), "busy connection");
+        if let Some(mut q) = held.into_iter().next() {
+            q.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut out = Vec::new();
+            q.read_to_end(&mut out).unwrap();
+            assert!(
+                String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200"),
+                "queued connection should drain once the handler frees up"
+            );
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn stop_drains_queued_connections_before_joining() {
+        use std::time::Duration;
+        let server = running_server_with(&ServerConfig { workers: 1, queue_capacity: 8 });
+        let addr = server.addr();
+
+        // Park the only handler on a half-sent request, then queue a few
+        // complete requests behind it.
+        let mut busy = TcpStream::connect(addr).unwrap();
+        write!(busy, "GET / HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let clients: Vec<TcpStream> = (0..3)
+            .map(|_| {
+                let mut c = TcpStream::connect(addr).unwrap();
+                write!(c, "GET / HTTP/1.1\r\n\r\n").unwrap();
+                c
+            })
+            .collect();
+        // Give the accept thread time to move all three into the queue.
+        std::thread::sleep(Duration::from_millis(200));
+
+        // Release the handler and stop: every accepted connection must
+        // still get an answer, because stop() only closes the queue —
+        // handlers drain what was already accepted before exiting.
+        write!(busy, "\r\n").unwrap();
+        server.stop();
+        let mut out = Vec::new();
+        busy.read_to_end(&mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200"));
+        for mut c in clients {
+            let mut out = Vec::new();
+            c.read_to_end(&mut out).unwrap();
+            assert!(
+                String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200"),
+                "accepted connection dropped during stop"
+            );
+        }
     }
 
     #[test]

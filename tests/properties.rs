@@ -240,8 +240,8 @@ proptest! {
         let img = RgbImage::from_fn(40, 32, |x, y| {
             let s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             Rgb::new(
-                (128.0 + 80.0 * (((x as f64) * 0.3 + s as f64 % 7.0)).sin()) as u8,
-                (128.0 + 60.0 * (((y as f64) * 0.2 + s as f64 % 5.0)).cos()) as u8,
+                (128.0 + 80.0 * ((x as f64) * 0.3 + s as f64 % 7.0).sin()) as u8,
+                (128.0 + 60.0 * ((y as f64) * 0.2 + s as f64 % 5.0).cos()) as u8,
                 ((x * y) as u8).wrapping_add(s as u8),
             )
         })
