@@ -69,7 +69,10 @@ pub enum Command {
         out: PathBuf,
     },
     /// Print database statistics.
-    Stats,
+    Stats {
+        /// Also print the runtime telemetry counters and histograms.
+        telemetry: bool,
+    },
     /// Rewrite the database compactly.
     Vacuum,
     /// Print usage.
@@ -107,7 +110,7 @@ user commands:
   search --name SUBSTR
   export --id N --out DIR
   list
-  stats
+  stats [--telemetry]
 ";
 
 struct Cursor {
@@ -167,6 +170,7 @@ fn parse_command(name: &str, cursor: &mut Cursor) -> Result<Command, ParseError>
     let mut out: Option<PathBuf> = None;
     let mut feature: Option<FeatureKind> = None;
     let mut no_index = false;
+    let mut telemetry = false;
 
     while let Some(flag) = cursor.next() {
         let flag = flag.to_string();
@@ -214,6 +218,7 @@ fn parse_command(name: &str, cursor: &mut Cursor) -> Result<Command, ParseError>
                 );
             }
             "--no-index" => no_index = true,
+            "--telemetry" => telemetry = true,
             other => return Err(ParseError(format!("unknown flag '{other}' for {name}"))),
         }
     }
@@ -243,7 +248,7 @@ fn parse_command(name: &str, cursor: &mut Cursor) -> Result<Command, ParseError>
         "query-clip" => Command::QueryClip { file: need!(file, "--file"), k: k.unwrap_or(5) },
         "search" => Command::Search { name: need!(video_name, "--name") },
         "export" => Command::Export { id: need!(id, "--id"), out: need!(out, "--out") },
-        "stats" => Command::Stats,
+        "stats" => Command::Stats { telemetry },
         "vacuum" => Command::Vacuum,
         other => return Err(ParseError(format!("unknown command '{other}'"))),
     })
@@ -338,7 +343,8 @@ mod tests {
     fn all_simple_commands_parse() {
         for (args, expect) in [
             (vec!["--db", "d", "list"], Command::List),
-            (vec!["--db", "d", "stats"], Command::Stats),
+            (vec!["--db", "d", "stats"], Command::Stats { telemetry: false }),
+            (vec!["--db", "d", "stats", "--telemetry"], Command::Stats { telemetry: true }),
             (vec!["--db", "d", "vacuum"], Command::Vacuum),
         ] {
             let (_, cmd) = parse(&v(&args)).unwrap();

@@ -55,7 +55,12 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
         }
         Command::Ingest { file, name } => {
             let bytes = std::fs::read(&file).map_err(|e| err("read file", e))?;
-            let clip = decode_vsc(&bytes).map_err(|e| err("decode VSC", e))?;
+            // The decode stage of the ingest pipeline (the library's
+            // `ingest_video` takes an already-decoded clip).
+            let clip = {
+                let _t = cbvr_core::Registry::global().span("ingest.decode_nanos");
+                decode_vsc(&bytes).map_err(|e| err("decode VSC", e))?
+            };
             let name = name.unwrap_or_else(|| {
                 file.file_name().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default()
             });
@@ -177,13 +182,26 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
                 frames_written
             ))
         }
-        Command::Stats => {
+        Command::Stats { telemetry } => {
             let mut db = open(db_dir)?;
             let s = db.stats().map_err(|e| err("stats", e))?;
-            Ok(format!(
+            let mut out = format!(
                 "pages: {}\nvideos: {}\nkey frames: {}\nnext v_id: {}\nnext i_id: {}",
                 s.pages, s.videos, s.key_frames, s.next_v_id, s.next_i_id
-            ))
+            );
+            if telemetry {
+                // The process-wide registry plus the storage engine's
+                // counters, merged and sorted like `GET /metrics`.
+                let mut lines = cbvr_core::Registry::global().render_lines();
+                lines.extend(db.telemetry().render_lines());
+                lines.sort();
+                out.push_str("\n\ntelemetry:\n");
+                for line in &lines {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            Ok(out)
         }
         Command::Vacuum => {
             let mut db = open(db_dir)?;

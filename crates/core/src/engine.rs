@@ -17,7 +17,9 @@ use crate::error::Result;
 use crate::ingest::extract_feature_sets_parallel;
 use crate::pool::{ExecPool, TopK, THREADS_AUTO};
 use crate::score::ScoreCalibration;
+use crate::telemetry::{Counter, Histogram, Registry};
 use crate::weights::FeatureWeights;
+use std::sync::Arc;
 use cbvr_features::{FeatureKind, FeatureSet};
 use cbvr_imgproc::{Histogram256, RgbImage};
 use cbvr_index::{paper_range, RangeIndex, RangeKey};
@@ -142,6 +144,37 @@ fn scoring_chunk(len: usize) -> usize {
     (len / 64).clamp(16, 256)
 }
 
+/// Telemetry handles resolved once per engine, so per-query recording
+/// is atomics only (the registry's name map is never consulted on the
+/// query path). See the stage breakdown on [`QueryEngine::query_features`].
+struct EngineMetrics {
+    registry: Arc<Registry>,
+    frame_requests: Arc<Counter>,
+    frame_candidates: Arc<Counter>,
+    frame_scan: Arc<Histogram>,
+    frame_score: Arc<Histogram>,
+    frame_merge: Arc<Histogram>,
+    clip_requests: Arc<Counter>,
+    clip_dtw: Arc<Histogram>,
+    clip_rank: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn on(registry: Arc<Registry>) -> EngineMetrics {
+        EngineMetrics {
+            frame_requests: registry.counter("query.frame.requests"),
+            frame_candidates: registry.counter("query.frame.candidates"),
+            frame_scan: registry.histogram("query.frame.scan_nanos"),
+            frame_score: registry.histogram("query.frame.score_nanos"),
+            frame_merge: registry.histogram("query.frame.merge_nanos"),
+            clip_requests: registry.counter("query.clip.requests"),
+            clip_dtw: registry.histogram("query.clip.dtw_nanos"),
+            clip_rank: registry.histogram("query.clip.rank_nanos"),
+            registry,
+        }
+    }
+}
+
 /// The in-memory retrieval engine.
 pub struct QueryEngine {
     entries: Vec<CatalogEntry>,
@@ -150,6 +183,7 @@ pub struct QueryEngine {
     video_names: HashMap<u64, String>,
     /// Per-video entry indices, in key-frame order.
     video_sequences: HashMap<u64, Vec<usize>>,
+    metrics: EngineMetrics,
 }
 
 impl QueryEngine {
@@ -198,7 +232,20 @@ impl QueryEngine {
         }
         let refs: Vec<&FeatureSet> = entries.iter().map(|e| &e.features).collect();
         let calibration = ScoreCalibration::from_catalog(&refs);
-        QueryEngine { entries, index, calibration, video_names, video_sequences }
+        let metrics = EngineMetrics::on(Registry::global().clone());
+        QueryEngine { entries, index, calibration, video_names, video_sequences, metrics }
+    }
+
+    /// Redirect this engine's telemetry into `registry` (tests inject a
+    /// [`crate::telemetry::TestClock`]-driven registry this way; production
+    /// engines default to [`Registry::global`]).
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.metrics = EngineMetrics::on(registry);
+    }
+
+    /// The registry this engine reports into.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
     }
 
     /// Number of catalog entries (key frames).
@@ -269,7 +316,12 @@ impl QueryEngine {
         range: RangeKey,
         options: &QueryOptions,
     ) -> Vec<FrameMatch> {
-        let candidates = self.candidates(range, options.use_index);
+        self.metrics.frame_requests.inc();
+        let candidates = {
+            let _scan = self.metrics.registry.timer(&self.metrics.frame_scan);
+            self.candidates(range, options.use_index)
+        };
+        self.metrics.frame_candidates.add(candidates.len() as u64);
         if candidates.is_empty() || options.k == 0 {
             return Vec::new();
         }
@@ -281,18 +333,22 @@ impl QueryEngine {
         // returns exactly the serial result.
         let merged = std::sync::Mutex::new(TopK::new(options.k, rank_frame_matches));
         let chunk = scoring_chunk(candidates.len());
-        ExecPool::global().run(candidates.len(), chunk, options.threads, |span| {
-            let mut local = TopK::new(options.k, rank_frame_matches);
-            for &i in &candidates[span] {
-                let e = &self.entries[i];
-                local.push(FrameMatch {
-                    i_id: e.i_id,
-                    v_id: e.v_id,
-                    score: self.combined_similarity(features, &e.features, &options.weights),
-                });
-            }
-            merged.lock().expect("top-k accumulator poisoned").merge(local);
-        });
+        {
+            let _score = self.metrics.registry.timer(&self.metrics.frame_score);
+            ExecPool::global().run(candidates.len(), chunk, options.threads, |chunk_range| {
+                let mut local = TopK::new(options.k, rank_frame_matches);
+                for &i in &candidates[chunk_range] {
+                    let e = &self.entries[i];
+                    local.push(FrameMatch {
+                        i_id: e.i_id,
+                        v_id: e.v_id,
+                        score: self.combined_similarity(features, &e.features, &options.weights),
+                    });
+                }
+                merged.lock().expect("top-k accumulator poisoned").merge(local);
+            });
+        }
+        let _merge = self.metrics.registry.timer(&self.metrics.frame_merge);
         merged.into_inner().expect("top-k accumulator poisoned").into_sorted()
     }
 
@@ -322,6 +378,7 @@ impl QueryEngine {
         query: &[FeatureSet],
         options: &QueryOptions,
     ) -> Vec<VideoMatch> {
+        self.metrics.clip_requests.inc();
         if options.k == 0 {
             return Vec::new();
         }
@@ -332,16 +389,20 @@ impl QueryEngine {
         // One DTW per video, chunk size 1: alignments dominate the cost
         // and vary with sequence length, so fine-grained stealing
         // balances them.
-        let mut matches = ExecPool::global().map(&videos, 1, options.threads, |_, &(&v_id, indices)| {
-            let sequence: Vec<&FeatureSet> =
-                indices.iter().map(|&i| &self.entries[i].features).collect();
-            let distance = dtw_distance(&query_refs, &sequence, |a, b| {
-                1.0 - self.combined_similarity(a, b, &options.weights)
-            });
-            VideoMatch { v_id, distance }
-        });
+        let mut matches = {
+            let _dtw = self.metrics.registry.timer(&self.metrics.clip_dtw);
+            ExecPool::global().map(&videos, 1, options.threads, |_, &(&v_id, indices)| {
+                let sequence: Vec<&FeatureSet> =
+                    indices.iter().map(|&i| &self.entries[i].features).collect();
+                let distance = dtw_distance(&query_refs, &sequence, |a, b| {
+                    1.0 - self.combined_similarity(a, b, &options.weights)
+                });
+                VideoMatch { v_id, distance }
+            })
+        };
         // `rank_video_matches` is total, so the sort erases the
         // HashMap's nondeterministic iteration order.
+        let _rank = self.metrics.registry.timer(&self.metrics.clip_rank);
         matches.sort_by(rank_video_matches);
         matches.truncate(options.k);
         matches

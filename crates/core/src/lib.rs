@@ -22,7 +22,10 @@
 //!   feature distances combine on a common scale;
 //! - [`weights`] — per-feature weights for the combined ranking;
 //! - [`pool`] — the shared work-stealing execution pool every parallel
-//!   path (scoring, DTW, extraction, calibration) runs on.
+//!   path (scoring, DTW, extraction, calibration) runs on;
+//! - [`telemetry`] — deterministic counters, latency histograms and
+//!   stage spans threaded through every layer above (and exposed by the
+//!   web server's `/metrics` and the CLI's `stats --telemetry`).
 #![warn(missing_docs)]
 
 
@@ -33,6 +36,7 @@ pub mod error;
 pub mod ingest;
 pub mod pool;
 pub mod score;
+pub mod telemetry;
 pub mod weights;
 
 pub use engine::{FrameMatch, QueryEngine, QueryOptions, QueryPreprocess, VideoMatch};
@@ -40,6 +44,7 @@ pub use feedback::adapt_weights;
 pub use error::{CoreError, Result};
 pub use ingest::{ingest_video, IngestConfig, IngestReport};
 pub use pool::{ExecPool, THREADS_AUTO};
+pub use telemetry::{Clock, Counter, Histogram, MonotonicClock, Registry, Span, TestClock};
 pub use weights::FeatureWeights;
 
 // Re-exports of the substrate types the public API surfaces.

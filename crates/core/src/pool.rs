@@ -35,6 +35,7 @@
 //! per-chunk results under a total order (see the top-k merge in the
 //! engine), so `threads = N` returns exactly what `threads = 1` returns.
 
+use crate::telemetry::{Clock, Counter, Histogram, Registry};
 use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
@@ -45,6 +46,39 @@ use std::thread::JoinHandle;
 
 /// `threads` value meaning "use every core the pool has".
 pub const THREADS_AUTO: usize = 0;
+
+/// Resolved telemetry handles the pool records through (cloned into
+/// every job; recording is atomics only, never a registry lookup).
+///
+/// - `pool.jobs` — parallel-for jobs executed (one per non-empty
+///   [`ExecPool::run`], deterministic);
+/// - `pool.chunks` — chunk claims across all participants;
+/// - `pool.steals` — chunk claims made by helper workers rather than
+///   the calling thread (inherently racy across runs: it reports how
+///   much work the pool actually offloaded);
+/// - `pool.busy_nanos` — per-participant busy time histogram (one
+///   sample per thread that executed at least one chunk of a job).
+#[derive(Clone)]
+struct PoolMetrics {
+    jobs: Arc<Counter>,
+    chunks: Arc<Counter>,
+    steals: Arc<Counter>,
+    busy: Arc<Histogram>,
+    clock: Arc<dyn Clock>,
+}
+
+impl PoolMetrics {
+    fn from_global() -> PoolMetrics {
+        let registry = Registry::global();
+        PoolMetrics {
+            jobs: registry.counter("pool.jobs"),
+            chunks: registry.counter("pool.chunks"),
+            steals: registry.counter("pool.steals"),
+            busy: registry.histogram("pool.busy_nanos"),
+            clock: registry.clock(),
+        }
+    }
+}
 
 /// One parallel-for over `0..len`, chunk-stolen via `next`.
 struct Job {
@@ -68,6 +102,8 @@ struct Job {
     /// after a successful chunk claim; all successful claims complete
     /// before [`ExecPool::run`] returns, so the borrow never dangles.
     body: *const (dyn Fn(Range<usize>) + Sync),
+    /// Telemetry handles (shared with the owning pool).
+    metrics: PoolMetrics,
 }
 
 // SAFETY: `body` is only dereferenced while the owning `run` call blocks
@@ -78,12 +114,16 @@ unsafe impl Sync for Job {}
 
 impl Job {
     /// Claim and execute chunks until the range is exhausted.
-    fn execute(&self) {
+    /// `helper` marks pool workers (their claims count as steals).
+    fn execute(&self, helper: bool) {
+        let busy_start = self.metrics.clock.now_nanos();
+        let mut claimed = 0u64;
         loop {
             let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.len {
-                return;
+                break;
             }
+            claimed += 1;
             let end = (start + self.chunk).min(self.len);
             // SAFETY: the claim succeeded, so the owning `run` call is
             // still blocked waiting for this chunk; the borrow is live.
@@ -98,6 +138,15 @@ impl Job {
                 self.signal.notify_all();
             }
         }
+        if claimed > 0 {
+            self.metrics.chunks.add(claimed);
+            if helper {
+                self.metrics.steals.add(claimed);
+            }
+            self.metrics
+                .busy
+                .record_nanos(self.metrics.clock.now_nanos().saturating_sub(busy_start));
+        }
     }
 }
 
@@ -105,6 +154,7 @@ impl Job {
 pub struct ExecPool {
     sender: Option<Sender<Arc<Job>>>,
     workers: Vec<JoinHandle<()>>,
+    metrics: PoolMetrics,
 }
 
 impl ExecPool {
@@ -125,14 +175,14 @@ impl ExecPool {
                     .spawn(move || loop {
                         let message = rx.lock().expect("pool queue poisoned").recv();
                         match message {
-                            Ok(job) => job.execute(),
+                            Ok(job) => job.execute(true),
                             Err(_) => break, // channel closed: pool dropped
                         }
                     })
                     .expect("spawn pool worker")
             })
             .collect();
-        ExecPool { sender: Some(sender), workers }
+        ExecPool { sender: Some(sender), workers, metrics: PoolMetrics::from_global() }
     }
 
     /// The process-wide shared pool, sized to the machine
@@ -173,8 +223,17 @@ impl ExecPool {
         // Helpers beyond `total_chunks - 1` could never claim a chunk
         // (the caller takes at least one).
         let helpers = threads.saturating_sub(1).min(self.workers.len()).min(total_chunks - 1);
+        self.metrics.jobs.inc();
         if helpers == 0 {
+            // The bit-exact serial path; still accounted as one job with
+            // one caller-executed "chunk" so counters stay comparable
+            // across thread settings.
+            let busy_start = self.metrics.clock.now_nanos();
             body(0..len);
+            self.metrics.chunks.inc();
+            self.metrics
+                .busy
+                .record_nanos(self.metrics.clock.now_nanos().saturating_sub(busy_start));
             return;
         }
         let body_ref: &(dyn Fn(Range<usize>) + Sync) = &body;
@@ -192,13 +251,14 @@ impl ExecPool {
             finished: Mutex::new(false),
             signal: Condvar::new(),
             body: body_static,
+            metrics: self.metrics.clone(),
         });
         if let Some(sender) = &self.sender {
             for _ in 0..helpers {
                 let _ = sender.send(Arc::clone(&job));
             }
         }
-        job.execute();
+        job.execute(false);
         let mut finished = job.finished.lock().expect("pool latch poisoned");
         while !*finished {
             finished = job.signal.wait(finished).expect("pool latch poisoned");

@@ -458,6 +458,12 @@ impl<B: Backend> CbvrDatabase<B> {
         self.pager.page_count()
     }
 
+    /// Snapshot of the pager/WAL counters accumulated since open
+    /// (telemetry: merged into `/metrics` and `cbvr stats --telemetry`).
+    pub fn telemetry(&self) -> crate::telemetry::StorageTelemetry {
+        self.pager.telemetry()
+    }
+
     /// Aggregate statistics (diagnostics, vacuum decisions).
     pub fn stats(&mut self) -> Result<DbStats> {
         Ok(DbStats {

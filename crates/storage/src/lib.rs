@@ -31,6 +31,8 @@
 //! - [`heap`] — chained-page BLOB store for `VIDEO`/`STREAM`/`IMAGE`;
 //! - [`codec`] — the row serialisation format;
 //! - [`tables`] — the two typed tables above plus the secondary index;
+//! - [`telemetry`] — plain-value pager/WAL counters the upper layers
+//!   merge into the process-wide metrics exposition;
 //! - [`db`] — [`db::CbvrDatabase`], the public facade.
 #![warn(missing_docs)]
 
@@ -44,9 +46,11 @@ pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod tables;
+pub mod telemetry;
 pub mod wal;
 
 pub use backend::{Backend, FileBackend, MemBackend};
 pub use db::CbvrDatabase;
 pub use error::{Result, StorageError};
 pub use tables::{KeyFrameRecord, KeyFrameRow, VideoRecord, VideoRow};
+pub use telemetry::StorageTelemetry;

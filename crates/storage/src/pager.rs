@@ -20,6 +20,7 @@
 use crate::backend::Backend;
 use crate::error::{Result, StorageError};
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
+use crate::telemetry::StorageTelemetry;
 use crate::wal::Wal;
 use std::collections::{HashMap, VecDeque};
 
@@ -49,6 +50,7 @@ pub struct Pager<B: Backend> {
     free_head: PageId,
     user_meta: [u8; USER_META_LEN],
     meta_dirty: bool,
+    telemetry: StorageTelemetry,
 }
 
 impl<B: Backend> Pager<B> {
@@ -57,7 +59,7 @@ impl<B: Backend> Pager<B> {
         let mut wal = Wal::new(wal_backend);
 
         // Recovery: push committed images into the data file.
-        let images = wal.recover()?;
+        let (images, replayed) = wal.recover_records()?;
         if !images.is_empty() {
             for (id, page) in &images {
                 data.write_at(*id as u64 * PAGE_SIZE as u64, page.as_bytes())?;
@@ -76,6 +78,7 @@ impl<B: Backend> Pager<B> {
             free_head: NO_PAGE,
             user_meta: [0u8; USER_META_LEN],
             meta_dirty: false,
+            telemetry: StorageTelemetry { wal_replays: replayed, ..StorageTelemetry::default() },
         };
 
         if pager.data.is_empty()? {
@@ -171,6 +174,7 @@ impl<B: Backend> Pager<B> {
                 Some(id) => {
                     self.cache.remove(&id);
                     self.lru.retain(|&x| x != id);
+                    self.telemetry.cache_evictions += 1;
                 }
                 None => break, // everything dirty: allow overshoot until commit
             }
@@ -187,9 +191,11 @@ impl<B: Backend> Pager<B> {
         }
         if let Some(entry) = self.cache.get(&id) {
             let page = entry.page.clone();
+            self.telemetry.cache_hits += 1;
             self.touch(id);
             return Ok(page);
         }
+        self.telemetry.cache_misses += 1;
         let mut bytes = vec![0u8; PAGE_SIZE];
         self.data.read_at(id as u64 * PAGE_SIZE as u64, &mut bytes)?;
         let page = Page::from_bytes(&bytes)?;
@@ -207,6 +213,7 @@ impl<B: Backend> Pager<B> {
                 self.page_count
             )));
         }
+        self.telemetry.page_writes += 1;
         self.cache.insert(id, CacheEntry { page, dirty: true });
         self.touch(id);
         self.evict_if_needed();
@@ -244,6 +251,11 @@ impl<B: Backend> Pager<B> {
         Ok(())
     }
 
+    /// Snapshot of the counters accumulated since open.
+    pub fn telemetry(&self) -> StorageTelemetry {
+        self.telemetry
+    }
+
     /// Number of dirty pages staged for the next commit.
     pub fn dirty_count(&self) -> usize {
         self.cache.values().filter(|e| e.dirty).count() + usize::from(self.meta_dirty)
@@ -271,7 +283,9 @@ impl<B: Backend> Pager<B> {
         for (id, p) in &dirty {
             images.push((*id, p));
         }
-        self.wal.append_commit(&images)?;
+        let appended = self.wal.append_commit(&images)?;
+        self.telemetry.wal_commits += 1;
+        self.telemetry.wal_bytes += appended;
 
         for (id, page) in &images {
             self.data.write_at(*id as u64 * PAGE_SIZE as u64, page.as_bytes())?;

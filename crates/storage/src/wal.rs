@@ -46,8 +46,9 @@ impl<B: Backend> Wal<B> {
         Wal { backend }
     }
 
-    /// Append one committed record of page images and fsync.
-    pub fn append_commit(&mut self, pages: &[(PageId, &Page)]) -> Result<()> {
+    /// Append one committed record of page images and fsync. Returns the
+    /// number of bytes appended (telemetry: `storage.wal.bytes`).
+    pub fn append_commit(&mut self, pages: &[(PageId, &Page)]) -> Result<u64> {
         let mut buf = Vec::with_capacity(8 + pages.len() * (4 + PAGE_SIZE) + 12);
         buf.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
         buf.extend_from_slice(&(pages.len() as u32).to_le_bytes());
@@ -62,14 +63,21 @@ impl<B: Backend> Wal<B> {
         let offset = self.backend.len()?;
         self.backend.write_at(offset, &buf)?;
         self.backend.sync()?;
-        Ok(())
+        Ok(buf.len() as u64)
     }
 
     /// Scan the log, returning the page images of every fully committed
     /// record in order. Stops silently at the first torn/corrupt record.
     pub fn recover(&mut self) -> Result<Vec<(PageId, Page)>> {
+        Ok(self.recover_records()?.0)
+    }
+
+    /// [`Wal::recover`], plus the number of committed records replayed
+    /// (telemetry: `storage.wal.replays` counts records, not images).
+    pub fn recover_records(&mut self) -> Result<(Vec<(PageId, Page)>, u64)> {
         let len = self.backend.len()?;
         let mut images = Vec::new();
+        let mut records = 0u64;
         let mut offset = 0u64;
         while offset + 8 <= len {
             let mut header = [0u8; 8];
@@ -102,9 +110,10 @@ impl<B: Backend> Wal<B> {
                 pos += PAGE_SIZE;
                 images.push((id, page));
             }
+            records += 1;
             offset += total_len;
         }
-        Ok(images)
+        Ok((images, records))
     }
 
     /// Drop every record (after a checkpoint propagated them).

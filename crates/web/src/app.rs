@@ -1,6 +1,7 @@
 //! The application: routes over shared state, socket-free and testable.
 
 use crate::http::{html_escape, json_escape, Method, Request, Response, StatusCode};
+use cbvr_core::telemetry::Registry;
 use cbvr_core::{FeatureWeights, QueryEngine, QueryOptions};
 use cbvr_features::FeatureKind;
 use cbvr_imgproc::codec::{encode as encode_image, ImageFormat};
@@ -13,6 +14,7 @@ use std::sync::Arc;
 pub struct AppState<B: Backend> {
     db: Mutex<CbvrDatabase<B>>,
     engine: Mutex<QueryEngine>,
+    telemetry: Arc<Registry>,
 }
 
 /// An assembled HTML page (title + body fragments).
@@ -50,34 +52,95 @@ impl HtmlPage {
 
 impl<B: Backend> AppState<B> {
     /// Build the state: loads the engine from the database once.
-    pub fn new(mut db: CbvrDatabase<B>) -> Result<Arc<AppState<B>>, cbvr_core::CoreError> {
-        let engine = QueryEngine::from_database(&mut db)?;
-        Ok(Arc::new(AppState { db: Mutex::new(db), engine: Mutex::new(engine) }))
+    /// Telemetry goes to [`Registry::global`].
+    pub fn new(db: CbvrDatabase<B>) -> Result<Arc<AppState<B>>, cbvr_core::CoreError> {
+        AppState::with_registry(db, Registry::global().clone())
+    }
+
+    /// [`AppState::new`] recording into an explicit registry (tests
+    /// inject a [`cbvr_core::TestClock`]-driven one for deterministic
+    /// `/metrics` goldens).
+    pub fn with_registry(
+        mut db: CbvrDatabase<B>,
+        registry: Arc<Registry>,
+    ) -> Result<Arc<AppState<B>>, cbvr_core::CoreError> {
+        let mut engine = QueryEngine::from_database(&mut db)?;
+        engine.set_telemetry(registry.clone());
+        Ok(Arc::new(AppState {
+            db: Mutex::new(db),
+            engine: Mutex::new(engine),
+            telemetry: registry,
+        }))
+    }
+
+    /// The registry this state records requests into.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Reload the engine after external database changes.
     pub fn reload_engine(&self) -> Result<(), cbvr_core::CoreError> {
         let mut db = self.db.lock().expect("mutex poisoned");
-        let engine = QueryEngine::from_database(&mut db)?;
+        let mut engine = QueryEngine::from_database(&mut db)?;
+        engine.set_telemetry(self.telemetry.clone());
         *self.engine.lock().expect("mutex poisoned") = engine;
         Ok(())
     }
 
     /// Route one request.
+    ///
+    /// Request/status counters and the latency sample are recorded
+    /// *after* the response is computed, so a `/metrics` response never
+    /// includes its own in-flight request — the exposition is a
+    /// consistent snapshot (and deterministic in golden tests).
     pub fn handle(&self, request: &Request) -> Response {
+        let start = self.telemetry.now_nanos();
+        let (route, response) = self.route(request);
+        let elapsed = self.telemetry.now_nanos().saturating_sub(start);
+        self.telemetry.histogram("web.request_nanos").record_nanos(elapsed);
+        self.telemetry.counter(&format!("web.requests.{route}")).inc();
+        self.telemetry.counter(status_class_metric(response.status)).inc();
+        response
+    }
+
+    /// Dispatch, returning the route's metric label alongside the
+    /// response.
+    fn route(&self, request: &Request) -> (&'static str, Response) {
         match (request.method, request.path.as_str()) {
-            (Method::Get, "/") => self.index(),
-            (Method::Get, "/video") => self.video_page(request),
-            (Method::Get, "/keyframe") => self.keyframe_image(request),
-            (Method::Get, "/search") => self.search(request),
-            (Method::Get, "/stats") => self.stats(),
-            (Method::Post, "/query") => self.query(request),
-            (Method::Get, "/query") => Response::text(
-                StatusCode::MethodNotAllowed,
-                "POST an image (PPM/BMP/PGM/VJP) to /query",
+            (Method::Get, "/") => ("index", self.index()),
+            (Method::Get, "/video") => ("video", self.video_page(request)),
+            (Method::Get, "/keyframe") => ("keyframe", self.keyframe_image(request)),
+            (Method::Get, "/search") => ("search", self.search(request)),
+            (Method::Get, "/stats") => ("stats", self.stats()),
+            (Method::Get, "/metrics") => ("metrics", self.metrics()),
+            (Method::Post, "/query") => ("query", self.query(request)),
+            (Method::Get, "/query") => (
+                "query",
+                Response::text(
+                    StatusCode::MethodNotAllowed,
+                    "POST an image (PPM/BMP/PGM/VJP) to /query",
+                ),
             ),
-            _ => Response::text(StatusCode::NotFound, format!("no route for {}", request.path)),
+            _ => (
+                "other",
+                Response::text(StatusCode::NotFound, format!("no route for {}", request.path)),
+            ),
         }
+    }
+
+    /// `GET /metrics`: the plain-text exposition — every registry
+    /// counter/histogram plus the storage engine's `storage.*` counters,
+    /// one `name value` pair per line, sorted.
+    fn metrics(&self) -> Response {
+        let mut lines = self.telemetry.render_lines();
+        lines.extend(self.db.lock().expect("mutex poisoned").telemetry().render_lines());
+        lines.sort();
+        let mut out = String::new();
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        Response::text(StatusCode::Ok, out)
     }
 
     fn index(&self) -> Response {
@@ -256,6 +319,18 @@ impl<B: Backend> AppState<B> {
         }
         page.push("</table>");
         Response::html(page.render())
+    }
+}
+
+/// The status-class counter a response increments (`web.status.2xx` …).
+pub(crate) fn status_class_metric(status: StatusCode) -> &'static str {
+    match status {
+        StatusCode::Ok => "web.status.2xx",
+        StatusCode::BadRequest
+        | StatusCode::NotFound
+        | StatusCode::MethodNotAllowed
+        | StatusCode::PayloadTooLarge => "web.status.4xx",
+        StatusCode::InternalServerError | StatusCode::ServiceUnavailable => "web.status.5xx",
     }
 }
 

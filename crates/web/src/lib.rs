@@ -15,6 +15,7 @@
 //! | `GET /search?name=S` | metadata search |
 //! | `POST /query?k=N[&feature=F][&format=json]` | content search — body is the query image (PPM/BMP/PGM/VJP) |
 //! | `GET /stats` | database statistics |
+//! | `GET /metrics` | plain-text telemetry exposition (counters, latency histograms, `storage.*`) |
 //!
 //! [`http`] is a from-scratch request parser / response writer (no
 //! external dependencies, per DESIGN.md); [`app`] holds the pure,

@@ -66,6 +66,11 @@ impl Server {
         let shutdown_flag = Arc::clone(&shutdown);
         let rejected = Arc::new(AtomicU64::new(0));
         let rejected_count = Arc::clone(&rejected);
+        // Resolved once; the accept loop records rejections lock-free.
+        let rejected_counter = state.telemetry().counter("web.backpressure.rejected");
+        let rejected_status = state.telemetry().counter(crate::app::status_class_metric(
+            StatusCode::ServiceUnavailable,
+        ));
 
         let workers = config.workers.max(1);
         let (queue, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_capacity);
@@ -100,6 +105,8 @@ impl Server {
                         // without bound. Writing a short response is
                         // cheap enough for the accept thread.
                         rejected_count.fetch_add(1, Ordering::Relaxed);
+                        rejected_counter.inc();
+                        rejected_status.inc();
                         let mut stream = stream;
                         let _ = Response::text(
                             StatusCode::ServiceUnavailable,
