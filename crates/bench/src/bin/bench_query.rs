@@ -1,0 +1,246 @@
+//! Query hot-path benchmark: columnar arena + early-abandon cascade vs
+//! the naive full scan, swept over catalog size × thread count.
+//!
+//! For every configuration the run records wall time, ns/candidate, and
+//! the *exact* work counters the engine's telemetry exposes
+//! (`query.scan.elements`, `query.abandon.<stage>`, `query.scan.survivors`),
+//! then writes everything to `BENCH_query.json`.
+//!
+//! ```text
+//! cargo run -p cbvr-bench --release --bin bench_query [-- --smoke] [--out FILE]
+//! ```
+//!
+//! `--smoke` is the CI mode: a single 10 240-frame sweep at `k = 10`
+//! that **fails (exit 1)** unless the serial cascade visits ≤ 70% of the
+//! distance-kernel elements the full scan visits — the PR acceptance
+//! floor of a ≥30% reduction in element operations.
+
+use cbvr_core::{QueryEngine, QueryOptions, Registry};
+use cbvr_core::engine::CatalogEntry;
+use cbvr_features::FeatureSet;
+use cbvr_imgproc::{Histogram256, Rgb, RgbImage};
+use cbvr_index::paper_range;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Distinct base frames; catalogs tile these (feature extraction is the
+/// expensive part — the scan cost under test only depends on descriptor
+/// variety, which 64 distinct frames provide).
+const BASE_FRAMES: usize = 64;
+
+fn synthetic_frame(rng: &mut rand::rngs::StdRng) -> RgbImage {
+    let base = Rgb::new(
+        rng.gen_range(0..=255u8),
+        rng.gen_range(0..=255u8),
+        rng.gen_range(0..=255u8),
+    );
+    let fx = rng.gen_range(1..=9u32);
+    let fy = rng.gen_range(1..=9u32);
+    RgbImage::from_fn(32, 32, |x, y| {
+        Rgb::new(
+            base.r.wrapping_add((x * fx) as u8),
+            base.g.wrapping_add((y * fy) as u8),
+            base.b.wrapping_add(((x * y) % 251) as u8),
+        )
+    })
+    .unwrap()
+}
+
+struct Run {
+    size: usize,
+    threads: usize,
+    abandon: bool,
+    wall_ns: u64,
+    candidates: u64,
+    elements: u64,
+    survivors: u64,
+    abandoned: u64,
+}
+
+impl Run {
+    fn ns_per_candidate(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        self.wall_ns as f64 / self.candidates as f64
+    }
+
+    fn abandoned_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        self.abandoned as f64 / self.candidates as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"size\": {}, \"threads\": {}, \"abandon\": {}, ",
+                "\"wall_ns\": {}, \"ns_per_candidate\": {:.2}, ",
+                "\"candidates\": {}, \"elements\": {}, \"survivors\": {}, ",
+                "\"abandoned\": {}, \"abandoned_fraction\": {:.4}}}"
+            ),
+            self.size,
+            self.threads,
+            self.abandon,
+            self.wall_ns,
+            self.ns_per_candidate(),
+            self.candidates,
+            self.elements,
+            self.survivors,
+            self.abandoned,
+            self.abandoned_fraction(),
+        )
+    }
+}
+
+/// Sum of the per-stage abandon counters (exact in serial runs).
+fn abandon_total(registry: &Registry) -> u64 {
+    cbvr_features::FeatureKind::ALL
+        .iter()
+        .map(|k| registry.counter(&format!("query.abandon.{}", k.name())).get())
+        .sum()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_query.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let sizes: &[usize] = if smoke { &[10_240] } else { &[2_048, 10_240] };
+    let thread_counts: &[usize] = if smoke { &[1] } else { &[1, 4] };
+    let k = 10;
+
+    eprintln!("extracting {BASE_FRAMES} base feature sets...");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe5c);
+    let frames: Vec<RgbImage> = (0..BASE_FRAMES).map(|_| synthetic_frame(&mut rng)).collect();
+    let bases: Vec<CatalogEntry> = frames
+        .iter()
+        .map(|f| CatalogEntry {
+            i_id: 0,
+            v_id: 0,
+            range: paper_range(&Histogram256::of_rgb_luma(f)),
+            features: FeatureSet::extract(f),
+        })
+        .collect();
+    // The probe is a perturbation of one base frame: near the catalog's
+    // distribution (so the cascade threshold tightens realistically) but
+    // not an exact duplicate.
+    let probe_frame = {
+        let f = &frames[7];
+        RgbImage::from_fn(f.width(), f.height(), |x, y| {
+            let p = f.get(x, y);
+            Rgb::new(p.r.wrapping_add(3), p.g, p.b.wrapping_add(1))
+        })
+        .unwrap()
+    };
+    let probe = FeatureSet::extract(&probe_frame);
+    let probe_range = paper_range(&Histogram256::of_rgb_luma(&probe_frame));
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &size in sizes {
+        // Tile the base entries up to `size` with distinct ids.
+        let entries: Vec<CatalogEntry> = (0..size)
+            .map(|i| {
+                let b = &bases[i % BASE_FRAMES];
+                CatalogEntry {
+                    i_id: i as u64 + 1,
+                    v_id: (i as u64 % 16) + 1,
+                    range: b.range,
+                    features: b.features.clone(),
+                }
+            })
+            .collect();
+        let mut engine = QueryEngine::from_catalog(entries, HashMap::new());
+        for &threads in thread_counts {
+            for abandon in [false, true] {
+                // Fresh registry per run so counter diffs are per-run
+                // absolutes (counters are monotone, never reset).
+                let registry = Arc::new(Registry::new());
+                engine.set_telemetry(Arc::clone(&registry));
+                let options = QueryOptions {
+                    k,
+                    threads,
+                    use_index: false,
+                    abandon,
+                    ..QueryOptions::default()
+                };
+                // Warm-up, then the measured pass.
+                let warm = engine.query_features(&probe, probe_range, &options);
+                assert_eq!(warm.len(), k.min(size));
+                let el0 = registry.counter("query.scan.elements").get();
+                let sv0 = registry.counter("query.scan.survivors").get();
+                let ab0 = abandon_total(&registry);
+                let start = Instant::now();
+                let results = engine.query_features(&probe, probe_range, &options);
+                let wall_ns = start.elapsed().as_nanos() as u64;
+                assert_eq!(results.len(), k.min(size));
+                let run = Run {
+                    size,
+                    threads,
+                    abandon,
+                    wall_ns,
+                    candidates: size as u64,
+                    elements: registry.counter("query.scan.elements").get() - el0,
+                    survivors: registry.counter("query.scan.survivors").get() - sv0,
+                    abandoned: abandon_total(&registry) - ab0,
+                };
+                eprintln!(
+                    "size={:>6} threads={} abandon={:<5} wall={:>9}ns ns/cand={:>8.1} elements={:>10} abandoned={:.1}%",
+                    run.size,
+                    run.threads,
+                    run.abandon,
+                    run.wall_ns,
+                    run.ns_per_candidate(),
+                    run.elements,
+                    run.abandoned_fraction() * 100.0,
+                );
+                runs.push(run);
+            }
+        }
+    }
+
+    let body: Vec<String> = runs.iter().map(|r| format!("    {}", r.to_json())).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"query\",\n  \"k\": {k},\n  \"base_frames\": {BASE_FRAMES},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("write bench output");
+    eprintln!("wrote {out}");
+
+    // CI gate: the serial cascade must visit ≤ 70% of the full scan's
+    // distance-kernel elements on the 10k catalog (≥30% reduction).
+    let elements_at = |abandon: bool| {
+        runs.iter()
+            .find(|r| r.size == 10_240 && r.threads == 1 && r.abandon == abandon)
+            .map(|r| r.elements)
+            .expect("10k serial run present")
+    };
+    let full = elements_at(false);
+    let cascade = elements_at(true);
+    let ratio = cascade as f64 / full as f64;
+    eprintln!(
+        "10k serial element ratio: cascade {cascade} / full {full} = {ratio:.3} (gate: <= 0.70)"
+    );
+    if smoke && ratio > 0.70 {
+        eprintln!("FAIL: cascade element reduction below the 30% acceptance floor");
+        std::process::exit(1);
+    }
+}

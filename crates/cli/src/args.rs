@@ -48,6 +48,9 @@ pub enum Command {
         feature: Option<FeatureKind>,
         /// Disable range-index pruning.
         no_index: bool,
+        /// Disable the early-abandon cascade (score every candidate in
+        /// full; results are identical, only the work differs).
+        no_abandon: bool,
     },
     /// Query by example clip file (DTW).
     QueryClip {
@@ -105,7 +108,7 @@ administrator commands:
   vacuum                                          rewrite the db compactly
 
 user commands:
-  query --image F [--k N] [--feature KIND] [--no-index]
+  query --image F [--k N] [--feature KIND] [--no-index] [--no-abandon]
   query-clip --file F.vsc [--k N]
   search --name SUBSTR
   export --id N --out DIR
@@ -170,6 +173,7 @@ fn parse_command(name: &str, cursor: &mut Cursor) -> Result<Command, ParseError>
     let mut out: Option<PathBuf> = None;
     let mut feature: Option<FeatureKind> = None;
     let mut no_index = false;
+    let mut no_abandon = false;
     let mut telemetry = false;
 
     while let Some(flag) = cursor.next() {
@@ -218,6 +222,7 @@ fn parse_command(name: &str, cursor: &mut Cursor) -> Result<Command, ParseError>
                 );
             }
             "--no-index" => no_index = true,
+            "--no-abandon" => no_abandon = true,
             "--telemetry" => telemetry = true,
             other => return Err(ParseError(format!("unknown flag '{other}' for {name}"))),
         }
@@ -244,6 +249,7 @@ fn parse_command(name: &str, cursor: &mut Cursor) -> Result<Command, ParseError>
             k: k.unwrap_or(10),
             feature,
             no_index,
+            no_abandon,
         },
         "query-clip" => Command::QueryClip { file: need!(file, "--file"), k: k.unwrap_or(5) },
         "search" => Command::Search { name: need!(video_name, "--name") },
@@ -279,7 +285,7 @@ mod tests {
     fn parses_query_with_options() {
         let (_, cmd) = parse(&v(&[
             "--db", "d", "query", "--image", "q.bmp", "--k", "25", "--feature", "gabor",
-            "--no-index",
+            "--no-index", "--no-abandon",
         ]))
         .unwrap();
         assert_eq!(
@@ -289,6 +295,7 @@ mod tests {
                 k: 25,
                 feature: Some(FeatureKind::Gabor),
                 no_index: true,
+                no_abandon: true,
             }
         );
     }
@@ -298,7 +305,13 @@ mod tests {
         let (_, cmd) = parse(&v(&["--db", "d", "query", "--image", "q.bmp"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Query { image: PathBuf::from("q.bmp"), k: 10, feature: None, no_index: false }
+            Command::Query {
+                image: PathBuf::from("q.bmp"),
+                k: 10,
+                feature: None,
+                no_index: false,
+                no_abandon: false,
+            }
         );
         let (_, cmd) = parse(&v(&["--db", "d", "generate", "--category", "news", "--name", "n"]))
             .unwrap();

@@ -95,7 +95,7 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
             db.delete_video(id).map_err(|e| err("delete", e))?;
             Ok(format!("deleted v_id={id} (and its key frames)"))
         }
-        Command::Query { image, k, feature, no_index } => {
+        Command::Query { image, k, feature, no_index, no_abandon } => {
             let bytes = std::fs::read(&image).map_err(|e| err("read image", e))?;
             let frame = cbvr_imgproc::decode_auto(&bytes).map_err(|e| err("decode image", e))?;
             let mut db = open(db_dir)?;
@@ -110,7 +110,13 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
             let results =
                 engine.query_frame(
                 &frame,
-                &QueryOptions { k, weights, use_index: !no_index, ..Default::default() },
+                &QueryOptions {
+                    k,
+                    weights,
+                    use_index: !no_index,
+                    abandon: !no_abandon,
+                    ..Default::default()
+                },
             );
             let mut out = format!("{:<6} {:<30} {:<10} score\n", "rank", "video", "keyframe");
             for (rank, m) in results.iter().enumerate() {
@@ -190,6 +196,11 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
                 s.pages, s.videos, s.key_frames, s.next_v_id, s.next_i_id
             );
             if telemetry {
+                // Load the catalog so the query-engine counters exist
+                // (notably `query.arena.bytes`, recorded at arena build).
+                let engine =
+                    QueryEngine::from_database(&mut db).map_err(|e| err("load catalog", e))?;
+                let _ = engine.len();
                 // The process-wide registry plus the storage engine's
                 // counters, merged and sorted like `GET /metrics`.
                 let mut lines = cbvr_core::Registry::global().render_lines();

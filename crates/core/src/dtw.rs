@@ -37,6 +37,54 @@ pub fn dtw_distance<T>(a: &[T], b: &[T], mut dist: impl FnMut(&T, &T) -> f64) ->
     prev_cost[m] / (n + m) as f64
 }
 
+/// [`dtw_distance`] with an exact prefix-row abandon: after each DP row the
+/// minimum over that row's cells, divided by `(n + m)`, is a true lower
+/// bound of the final normalised distance — every warping path passes
+/// through every row of the DP table, cell costs only accumulate
+/// non-negative element distances (rounded-to-nearest addition of a
+/// non-negative term never decreases the sum), and dividing by the positive
+/// constant `(n + m)` is monotone. When that bound strictly exceeds
+/// `cutoff` the final distance must too, so the scan returns `None`
+/// ("abandoned"). With `cutoff = ∞` the result is bit-identical to
+/// [`dtw_distance`]; ties at exactly `cutoff` are kept (strict `>`), so a
+/// caller passing the current k-th best distance preserves tie-breaks.
+///
+/// The two sequences may have different element types — the clip query
+/// path aligns query feature vectors against catalog arena indices.
+pub fn dtw_distance_abandon<A, B>(
+    a: &[A],
+    b: &[B],
+    cutoff: f64,
+    mut dist: impl FnMut(&A, &B) -> f64,
+) -> Option<f64> {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return Some(0.0),
+        (true, false) | (false, true) => return Some(f64::INFINITY),
+        _ => {}
+    }
+    let n = a.len();
+    let m = b.len();
+    let mut prev_cost = vec![f64::INFINITY; m + 1];
+    let mut cur_cost = vec![f64::INFINITY; m + 1];
+    prev_cost[0] = 0.0;
+
+    let denom = (n + m) as f64;
+    for i in 1..=n {
+        cur_cost[0] = f64::INFINITY;
+        for j in 1..=m {
+            let d = dist(&a[i - 1], &b[j - 1]);
+            let best = prev_cost[j - 1].min(prev_cost[j]).min(cur_cost[j - 1]);
+            cur_cost[j] = best + d;
+        }
+        let row_min = cur_cost[1..].iter().copied().fold(f64::INFINITY, f64::min);
+        if row_min / denom > cutoff {
+            return None;
+        }
+        std::mem::swap(&mut prev_cost, &mut cur_cost);
+    }
+    Some(prev_cost[m] / denom)
+}
+
 /// DTW with a Sakoe–Chiba band: cells with `|i - j·n/m| > band` are
 /// skipped, bounding runtime for long sequences. `band` is in elements of
 /// `a`'s axis; `usize::MAX` degenerates to full DTW.
@@ -157,6 +205,49 @@ mod tests {
         let b = [0.0, 5.0];
         let d = dtw_distance_banded(&a, &b, 0, scalar);
         assert!(d.is_finite());
+    }
+
+    #[test]
+    fn abandon_matches_full_at_infinite_cutoff() {
+        let a: Vec<f64> = (0..20).map(|i| (i as f64 * 0.9).sin() * 3.0).collect();
+        let b: Vec<f64> = (0..17).map(|i| (i as f64 * 1.1).cos() * 2.0).collect();
+        let full = dtw_distance(&a, &b, scalar);
+        let bounded = dtw_distance_abandon(&a, &b, f64::INFINITY, scalar);
+        assert_eq!(bounded, Some(full), "must be bit-identical");
+        // A cutoff exactly at the distance keeps it (strict >).
+        assert_eq!(dtw_distance_abandon(&a, &b, full, scalar), Some(full));
+    }
+
+    #[test]
+    fn abandon_only_when_distance_exceeds_cutoff() {
+        // Soundness: under any cutoff the scan either abandons (and then the
+        // true distance exceeds the cutoff) or returns the exact distance.
+        let a: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| (i as f64) + 4.0).collect();
+        let full = dtw_distance(&a, &b, scalar);
+        assert!(full > 0.0);
+        for frac in [0.25, 0.5, 0.9, 1.5] {
+            let cutoff = full * frac;
+            match dtw_distance_abandon(&a, &b, cutoff, scalar) {
+                None => assert!(full > cutoff, "abandoned below the true distance"),
+                Some(d) => assert_eq!(d, full, "survivor must be exact"),
+            }
+        }
+        assert_eq!(dtw_distance_abandon(&a, &b, full * 2.0, scalar), Some(full));
+        // Constant far-apart sequences force an early abandon: every row-1
+        // cell already costs ≥ 100, so row_min/(n+m) = 100/30 > cutoff.
+        let near = [0.0; 15];
+        let far = [100.0; 15];
+        assert_eq!(dtw_distance_abandon(&near, &far, 1.0, scalar), None);
+    }
+
+    #[test]
+    fn abandon_empty_cases_skip_checks() {
+        let s = [1.0];
+        assert_eq!(dtw_distance_abandon::<f64, f64>(&[], &[], 0.0, scalar), Some(0.0));
+        // Empty-vs-nonempty reports ∞ even under a tiny cutoff — the caller
+        // sees the sentinel rather than an abandon.
+        assert_eq!(dtw_distance_abandon(&[], &s, 0.0, scalar), Some(f64::INFINITY));
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //!   dynamic-programming similarity) and rank videos;
 //! - **query by metadata** — substring match on video names.
 
-use crate::dtw::dtw_distance;
+use crate::arena::{CascadePlan, CascadeTally, DescriptorArena, QueryVectors, KINDS};
+use crate::dtw::dtw_distance_abandon;
 use crate::error::Result;
 use crate::ingest::extract_feature_sets_parallel;
 use crate::pool::{ExecPool, TopK, THREADS_AUTO};
 use crate::score::ScoreCalibration;
 use crate::telemetry::{Counter, Histogram, Registry};
 use crate::weights::FeatureWeights;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use cbvr_features::{FeatureKind, FeatureSet};
 use cbvr_imgproc::{Histogram256, RgbImage};
@@ -85,6 +87,13 @@ pub struct QueryOptions {
     /// [`ExecPool`] ([`THREADS_AUTO`] = all cores). Results are
     /// identical for every value — `1` is the bit-exact serial path.
     pub threads: usize,
+    /// Early-abandon cascade scoring: skip the remaining distance kernels
+    /// for a candidate the moment it is *proven* unable to enter the
+    /// top-k (see [`DescriptorArena::cascade_score`]). Exact — ranked
+    /// results are identical either way; `false` (the `--no-abandon`
+    /// debug flag) exists to measure the saving and to bisect suspected
+    /// bound bugs.
+    pub abandon: bool,
 }
 
 impl Default for QueryOptions {
@@ -95,6 +104,7 @@ impl Default for QueryOptions {
             use_index: true,
             preprocess: QueryPreprocess::None,
             threads: THREADS_AUTO,
+            abandon: true,
         }
     }
 }
@@ -147,6 +157,11 @@ fn scoring_chunk(len: usize) -> usize {
 /// Telemetry handles resolved once per engine, so per-query recording
 /// is atomics only (the registry's name map is never consulted on the
 /// query path). See the stage breakdown on [`QueryEngine::query_features`].
+///
+/// Cascade accounting (`query.scan.*`, `query.abandon.*`) is exact in
+/// serial runs; in parallel runs the *results* stay bit-identical but the
+/// abandon/element counts vary with chunk-claim timing (a faster-rising
+/// threshold abandons earlier), so only ratios are meaningful there.
 struct EngineMetrics {
     registry: Arc<Registry>,
     frame_requests: Arc<Counter>,
@@ -157,10 +172,28 @@ struct EngineMetrics {
     clip_requests: Arc<Counter>,
     clip_dtw: Arc<Histogram>,
     clip_rank: Arc<Histogram>,
+    /// `query.arena.bytes` — bytes of columnar arena storage built
+    /// (cumulative across rebuilds; counters are monotone).
+    arena_bytes: Arc<Counter>,
+    /// `query.scan.elements` — distance-kernel elements visited.
+    scan_elements: Arc<Counter>,
+    /// `query.scan.survivors` — candidates that survived the cascade.
+    scan_survivors: Arc<Counter>,
+    /// `query.abandon.<kind>` — candidates abandoned at each stage,
+    /// indexed by the kind's discriminant.
+    abandon_kind: [Arc<Counter>; KINDS],
+    /// `query.abandon.dtw` — clip alignments cut off by the prefix-row
+    /// bound.
+    abandon_dtw: Arc<Counter>,
 }
 
 impl EngineMetrics {
     fn on(registry: Arc<Registry>) -> EngineMetrics {
+        let mut slots: [Option<Arc<Counter>>; KINDS] = std::array::from_fn(|_| None);
+        for kind in FeatureKind::ALL {
+            slots[kind as usize] =
+                Some(registry.counter(&format!("query.abandon.{}", kind.name())));
+        }
         EngineMetrics {
             frame_requests: registry.counter("query.frame.requests"),
             frame_candidates: registry.counter("query.frame.candidates"),
@@ -170,7 +203,74 @@ impl EngineMetrics {
             clip_requests: registry.counter("query.clip.requests"),
             clip_dtw: registry.histogram("query.clip.dtw_nanos"),
             clip_rank: registry.histogram("query.clip.rank_nanos"),
+            arena_bytes: registry.counter("query.arena.bytes"),
+            scan_elements: registry.counter("query.scan.elements"),
+            scan_survivors: registry.counter("query.scan.survivors"),
+            abandon_kind: slots.map(|s| s.expect("every kind registered")),
+            abandon_dtw: registry.counter("query.abandon.dtw"),
             registry,
+        }
+    }
+
+    /// Fold one chunk's cascade tally into the counters (once per chunk,
+    /// so the hot loop touches plain integers only).
+    fn flush_tally(&self, tally: &CascadeTally) {
+        if tally.elements > 0 {
+            self.scan_elements.add(tally.elements);
+        }
+        if tally.survivors > 0 {
+            self.scan_survivors.add(tally.survivors);
+        }
+        for (k, &n) in tally.abandoned.iter().enumerate() {
+            if n > 0 {
+                self.abandon_kind[k].add(n);
+            }
+        }
+    }
+}
+
+/// Shared admission threshold for parallel frame scans: the highest
+/// known lower bound of the final k-th best *score*. Scores live in
+/// `[0, 1]`, and non-negative IEEE doubles order identically to their
+/// bit patterns, so a `fetch_max` on the bits is a lock-free running
+/// maximum. Starting at 0 is equivalent to "no threshold": the cascade
+/// can never prove a score below 0, so nothing is abandoned until a
+/// top-k heap actually fills.
+struct ScoreFloor(AtomicU64);
+
+impl ScoreFloor {
+    fn new() -> ScoreFloor {
+        ScoreFloor(AtomicU64::new(0.0f64.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn raise(&self, score: f64) {
+        if score > 0.0 {
+            self.0.fetch_max(score.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Shared cutoff for parallel clip scans: the lowest known upper bound
+/// of the final k-th best DTW *distance* (lower is better). Same bit
+/// trick as [`ScoreFloor`], with `fetch_min` and an `∞` start.
+struct DistCeil(AtomicU64);
+
+impl DistCeil {
+    fn new() -> DistCeil {
+        DistCeil(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn lower(&self, distance: f64) {
+        if distance >= 0.0 && !distance.is_nan() {
+            self.0.fetch_min(distance.to_bits(), Ordering::Relaxed);
         }
     }
 }
@@ -178,6 +278,9 @@ impl EngineMetrics {
 /// The in-memory retrieval engine.
 pub struct QueryEngine {
     entries: Vec<CatalogEntry>,
+    /// Columnar f32 mirror of every entry's descriptors, in entry order —
+    /// the scan reads this, not `entries[i].features`.
+    arena: DescriptorArena,
     index: RangeIndex<usize>,
     calibration: ScoreCalibration,
     video_names: HashMap<u64, String>,
@@ -232,15 +335,22 @@ impl QueryEngine {
         }
         let refs: Vec<&FeatureSet> = entries.iter().map(|e| &e.features).collect();
         let calibration = ScoreCalibration::from_catalog(&refs);
+        let mut arena = DescriptorArena::new();
+        for e in &entries {
+            arena.push(&e.features);
+        }
         let metrics = EngineMetrics::on(Registry::global().clone());
-        QueryEngine { entries, index, calibration, video_names, video_sequences, metrics }
+        metrics.arena_bytes.add(arena.bytes() as u64);
+        QueryEngine { entries, arena, index, calibration, video_names, video_sequences, metrics }
     }
 
     /// Redirect this engine's telemetry into `registry` (tests inject a
     /// [`crate::telemetry::TestClock`]-driven registry this way; production
-    /// engines default to [`Registry::global`]).
+    /// engines default to [`Registry::global`]). The arena-bytes gauge is
+    /// re-recorded so the new registry sees the current arena size.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
         self.metrics = EngineMetrics::on(registry);
+        self.metrics.arena_bytes.add(self.arena.bytes() as u64);
     }
 
     /// The registry this engine reports into.
@@ -275,6 +385,11 @@ impl QueryEngine {
         &self.calibration
     }
 
+    /// The columnar descriptor arena (exposed for diagnostics/benches).
+    pub fn arena(&self) -> &DescriptorArena {
+        &self.arena
+    }
+
     /// Combined similarity between two feature sets under `weights`.
     pub fn combined_similarity(
         &self,
@@ -285,10 +400,12 @@ impl QueryEngine {
         weights.combine(|kind| self.calibration.similarity(kind, a.distance(b, kind)))
     }
 
-    /// Candidate entry indices for a query range.
+    /// Candidate entry indices for a query range, ascending — i.e. in
+    /// arena order, so the columnar scan streams each slab forward
+    /// instead of hopping between index buckets.
     fn candidates(&self, range: RangeKey, use_index: bool) -> Vec<usize> {
         if use_index {
-            self.index.overlap_candidates(range)
+            self.index.overlap_candidates_sorted(range)
         } else {
             (0..self.entries.len()).collect()
         }
@@ -325,27 +442,52 @@ impl QueryEngine {
         if candidates.is_empty() || options.k == 0 {
             return Vec::new();
         }
-        // Candidates are scored on the shared pool; each chunk keeps a
-        // bounded top-k heap (O(n log k), no full match vector) and folds
-        // it into the shared accumulator. `rank_frame_matches` is a total
-        // order, so the selected set — and its sorted order — is
-        // independent of how chunks were claimed: any `threads` value
-        // returns exactly the serial result.
+        // Candidates are scored through the arena cascade on the shared
+        // pool; each chunk keeps a bounded top-k heap (O(n log k), no full
+        // match vector) and folds it into the shared accumulator.
+        // `rank_frame_matches` is a total order and the cascade only ever
+        // abandons candidates *proven* unable to enter the top-k, so the
+        // selected set — and its sorted order — is independent of how
+        // chunks were claimed and of the `abandon` setting: any `threads`
+        // value returns exactly the serial result.
+        let plan = CascadePlan::new(&options.weights, &self.calibration);
+        let query = QueryVectors::from_set(features);
         let merged = std::sync::Mutex::new(TopK::new(options.k, rank_frame_matches));
+        let floor = ScoreFloor::new();
         let chunk = scoring_chunk(candidates.len());
         {
             let _score = self.metrics.registry.timer(&self.metrics.frame_score);
             ExecPool::global().run(candidates.len(), chunk, options.threads, |chunk_range| {
                 let mut local = TopK::new(options.k, rank_frame_matches);
+                let mut tally = CascadeTally::default();
                 for &i in &candidates[chunk_range] {
-                    let e = &self.entries[i];
-                    local.push(FrameMatch {
-                        i_id: e.i_id,
-                        v_id: e.v_id,
-                        score: self.combined_similarity(features, &e.features, &options.weights),
-                    });
+                    // Threshold: the best lower bound of the final k-th
+                    // best score this participant knows — its own heap's
+                    // worst kept score (a k-th best over a subset never
+                    // exceeds the global one) or the shared floor.
+                    let threshold = if options.abandon {
+                        local
+                            .worst()
+                            .map(|m| m.score)
+                            .unwrap_or(f64::NEG_INFINITY)
+                            .max(floor.get())
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    if let Some(score) =
+                        self.arena.cascade_score(&query, i, &plan, threshold, &mut tally)
+                    {
+                        let e = &self.entries[i];
+                        local.push(FrameMatch { i_id: e.i_id, v_id: e.v_id, score });
+                    }
                 }
-                merged.lock().expect("top-k accumulator poisoned").merge(local);
+                let mut shared = merged.lock().expect("top-k accumulator poisoned");
+                shared.merge(local);
+                if let Some(worst) = shared.worst() {
+                    floor.raise(worst.score);
+                }
+                drop(shared);
+                self.metrics.flush_tally(&tally);
             });
         }
         let _merge = self.metrics.registry.timer(&self.metrics.frame_merge);
@@ -382,30 +524,53 @@ impl QueryEngine {
         if options.k == 0 {
             return Vec::new();
         }
-        // The query reference vector is shared by every alignment; build
-        // it once instead of once per catalog video.
-        let query_refs: Vec<&FeatureSet> = query.iter().collect();
+        // The query's quantised vectors are shared by every alignment;
+        // build them once instead of once per catalog video.
+        let plan = CascadePlan::new(&options.weights, &self.calibration);
+        let query_vecs: Vec<QueryVectors> = query.iter().map(QueryVectors::from_set).collect();
         let videos: Vec<(&u64, &Vec<usize>)> = self.video_sequences.iter().collect();
         // One DTW per video, chunk size 1: alignments dominate the cost
         // and vary with sequence length, so fine-grained stealing
-        // balances them.
-        let mut matches = {
+        // balances them. Each alignment runs under the exact prefix-row
+        // abandon against the best known k-th-best distance; abandoned
+        // videos are provably outside the top-k, so results match the
+        // no-abandon path exactly (`rank_video_matches` is total, which
+        // also erases the HashMap's nondeterministic iteration order).
+        let merged = std::sync::Mutex::new(TopK::new(options.k, rank_video_matches));
+        let ceil = DistCeil::new();
+        {
             let _dtw = self.metrics.registry.timer(&self.metrics.clip_dtw);
-            ExecPool::global().map(&videos, 1, options.threads, |_, &(&v_id, indices)| {
-                let sequence: Vec<&FeatureSet> =
-                    indices.iter().map(|&i| &self.entries[i].features).collect();
-                let distance = dtw_distance(&query_refs, &sequence, |a, b| {
-                    1.0 - self.combined_similarity(a, b, &options.weights)
-                });
-                VideoMatch { v_id, distance }
-            })
-        };
-        // `rank_video_matches` is total, so the sort erases the
-        // HashMap's nondeterministic iteration order.
+            ExecPool::global().run(videos.len(), 1, options.threads, |chunk_range| {
+                let mut local = TopK::new(options.k, rank_video_matches);
+                let mut abandoned = 0u64;
+                for &(&v_id, indices) in &videos[chunk_range] {
+                    let cutoff = if options.abandon {
+                        local.worst().map(|m| m.distance).unwrap_or(f64::INFINITY).min(ceil.get())
+                    } else {
+                        f64::INFINITY
+                    };
+                    let aligned =
+                        dtw_distance_abandon(&query_vecs, indices, cutoff, |qv, &entry| {
+                            1.0 - self.arena.score(qv, entry, &plan)
+                        });
+                    match aligned {
+                        Some(distance) => local.push(VideoMatch { v_id, distance }),
+                        None => abandoned += 1,
+                    }
+                }
+                let mut shared = merged.lock().expect("top-k accumulator poisoned");
+                shared.merge(local);
+                if let Some(worst) = shared.worst() {
+                    ceil.lower(worst.distance);
+                }
+                drop(shared);
+                if abandoned > 0 {
+                    self.metrics.abandon_dtw.add(abandoned);
+                }
+            });
+        }
         let _rank = self.metrics.registry.timer(&self.metrics.clip_rank);
-        matches.sort_by(rank_video_matches);
-        matches.truncate(options.k);
-        matches
+        merged.into_inner().expect("top-k accumulator poisoned").into_sorted()
     }
 
     /// Metadata query: case-insensitive substring match on video names.
@@ -431,12 +596,18 @@ impl QueryEngine {
     /// and a full rebuild (`from_database`) refreshes it; incremental
     /// adds keep interactive admin operations cheap.
     pub fn add_video(&mut self, name: &str, entries: Vec<CatalogEntry>) {
+        let bytes_before = self.arena.bytes();
         for e in entries {
             let idx = self.entries.len();
             self.index.insert(e.range, idx);
             self.video_sequences.entry(e.v_id).or_default().push(idx);
             self.video_names.insert(e.v_id, name.to_string());
+            self.arena.push(&e.features);
             self.entries.push(e);
+        }
+        let grown = self.arena.bytes().saturating_sub(bytes_before);
+        if grown > 0 {
+            self.metrics.arena_bytes.add(grown as u64);
         }
     }
 
@@ -451,10 +622,14 @@ impl QueryEngine {
             self.video_names.remove(&v_id);
             self.index = RangeIndex::new();
             self.video_sequences.clear();
+            let mut arena = DescriptorArena::new();
             for (i, e) in self.entries.iter().enumerate() {
                 self.index.insert(e.range, i);
                 self.video_sequences.entry(e.v_id).or_default().push(i);
+                arena.push(&e.features);
             }
+            self.arena = arena;
+            self.metrics.arena_bytes.add(self.arena.bytes() as u64);
         }
         removed
     }

@@ -16,6 +16,9 @@
 //!   sketches in §1 ("We use a dynamic programming approach to compute
 //!   the similarity between the feature vectors for the query and feature
 //!   vectors in the feature database");
+//! - [`arena`] — the columnar descriptor arena (one 64-byte-aligned
+//!   `f32` slab per feature kind) and the exact early-abandon cascade the
+//!   engine scores candidates through;
 //! - [`dtw`] — that dynamic-programming kernel (dynamic time warping
 //!   over key-frame feature sequences);
 //! - [`score`] — distance→similarity calibration so heterogeneous
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 
+pub mod arena;
 pub mod dtw;
 pub mod engine;
 pub mod feedback;
@@ -39,6 +43,7 @@ pub mod score;
 pub mod telemetry;
 pub mod weights;
 
+pub use arena::{CascadePlan, CascadeTally, DescriptorArena, QueryVectors, CASCADE_ORDER};
 pub use engine::{FrameMatch, QueryEngine, QueryOptions, QueryPreprocess, VideoMatch};
 pub use feedback::adapt_weights;
 pub use error::{CoreError, Result};

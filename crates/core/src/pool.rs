@@ -395,6 +395,22 @@ impl<T, F: Fn(&T, &T) -> std::cmp::Ordering + Copy> TopK<T, F> {
         }
     }
 
+    /// `true` once the accumulator holds `k` items (and `k > 0`) — from
+    /// then on the worst kept item is a valid admission threshold.
+    pub fn is_full(&self) -> bool {
+        self.k > 0 && self.heap.len() == self.k
+    }
+
+    /// The worst item currently kept, available once [`TopK::is_full`].
+    /// Anything ranking behind it can never enter this accumulator.
+    pub fn worst(&self) -> Option<&T> {
+        if self.is_full() {
+            self.heap.first()
+        } else {
+            None
+        }
+    }
+
     /// The kept items, best first.
     pub fn into_sorted(self) -> Vec<T> {
         let rank = self.rank;
@@ -542,6 +558,27 @@ mod tests {
             full.truncate(k);
             assert_eq!(top.into_sorted(), full, "k = {k}");
         }
+    }
+
+    #[test]
+    fn topk_worst_tracks_admission_threshold() {
+        let rank = |a: &i64, b: &i64| b.cmp(a); // bigger is better
+        let mut top = TopK::new(3, rank);
+        assert!(!top.is_full());
+        assert_eq!(top.worst(), None);
+        for v in [5i64, 9, 1] {
+            top.push(v);
+        }
+        assert!(top.is_full());
+        assert_eq!(top.worst(), Some(&1));
+        top.push(7);
+        assert_eq!(top.worst(), Some(&5));
+        top.push(2); // ranks behind the worst: rejected, threshold unchanged
+        assert_eq!(top.worst(), Some(&5));
+        let mut empty: TopK<i64, _> = TopK::new(0, rank);
+        empty.push(4);
+        assert!(!empty.is_full());
+        assert_eq!(empty.worst(), None);
     }
 
     #[test]

@@ -84,12 +84,18 @@ impl ScoreCalibration {
 
     /// Map a native distance to a similarity in `(0, 1]`.
     pub fn similarity(&self, kind: FeatureKind, distance: f64) -> f64 {
-        let scale = self.scale(kind);
-        if distance <= 0.0 {
-            return 1.0;
-        }
-        1.0 / (1.0 + distance / scale)
+        similarity_for_scale(self.scale(kind), distance)
     }
+}
+
+/// The similarity mapping for a single known scale — the exact formula
+/// [`ScoreCalibration::similarity`] uses, exposed so the arena cascade can
+/// apply it to one stage at a time with identical rounding.
+pub fn similarity_for_scale(scale: f64, distance: f64) -> f64 {
+    if distance <= 0.0 {
+        return 1.0;
+    }
+    1.0 / (1.0 + distance / scale)
 }
 
 /// Median of the strictly-positive entries; `None` when there are none.

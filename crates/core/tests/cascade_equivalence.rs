@@ -1,0 +1,235 @@
+//! The early-abandon cascade must be invisible in results: for every
+//! catalog, weight profile, `k` regime and thread count, `abandon: true`
+//! returns *exactly* the matches (ids AND bit-identical scores) of the
+//! naive full scan (`abandon: false`), which in turn matches a
+//! per-entry [`QueryEngine::combined_similarity`] reference ranking.
+//! Randomised via proptest so the pin covers the whole input space, not
+//! a handful of hand-picked frames.
+
+use cbvr_core::engine::CatalogEntry;
+use cbvr_core::{FeatureWeights, QueryEngine, QueryOptions, THREADS_AUTO};
+use cbvr_features::{FeatureKind, FeatureSet};
+use cbvr_imgproc::{Histogram256, Rgb, RgbImage};
+use cbvr_index::{paper_range, RangeKey};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Force real helper threads even on a single-core host, so parallel
+/// runs genuinely race chunk claims and shared-threshold updates.
+fn force_parallel_pool() {
+    std::env::set_var("CBVR_POOL_HELPERS", "3");
+}
+
+fn random_frame(rng: &mut rand::rngs::StdRng) -> RgbImage {
+    let base = Rgb::new(
+        rng.gen_range(0..=255u8),
+        rng.gen_range(0..=255u8),
+        rng.gen_range(0..=255u8),
+    );
+    let fx = rng.gen_range(1..=7u32);
+    let fy = rng.gen_range(1..=7u32);
+    RgbImage::from_fn(16, 16, |x, y| {
+        Rgb::new(
+            base.r.wrapping_add((x * fx) as u8),
+            base.g.wrapping_add((y * fy) as u8),
+            base.b.wrapping_add(((x + y) * 3) as u8),
+        )
+    })
+    .unwrap()
+}
+
+fn entry_from_frame(i_id: u64, v_id: u64, frame: &RgbImage) -> CatalogEntry {
+    CatalogEntry {
+        i_id,
+        v_id,
+        range: paper_range(&Histogram256::of_rgb_luma(frame)),
+        features: FeatureSet::extract(frame),
+    }
+}
+
+fn random_catalog(seed: u64, n: usize) -> (QueryEngine, FeatureSet, RangeKey) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut entries = Vec::with_capacity(n);
+    for i in 0..n {
+        let frame = random_frame(&mut rng);
+        entries.push(entry_from_frame(i as u64 + 1, (i as u64 % 3) + 1, &frame));
+    }
+    let engine = QueryEngine::from_catalog(entries, HashMap::new());
+    let probe = random_frame(&mut rng);
+    let range = paper_range(&Histogram256::of_rgb_luma(&probe));
+    (engine, FeatureSet::extract(&probe), range)
+}
+
+/// Weight profiles the cascade must stay exact under: the paper default,
+/// uniform, a single expensive stage, a single cheap stage, and a skewed
+/// hand-rolled mix (including a zeroed-out stage).
+fn weight_profiles(seed: u64) -> Vec<FeatureWeights> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut random = FeatureWeights::default();
+    for kind in FeatureKind::ALL {
+        random.set(kind, (rng.gen_range(0..=100u32) as f64) / 50.0);
+    }
+    vec![
+        FeatureWeights::default(),
+        FeatureWeights::uniform(),
+        FeatureWeights::single(FeatureKind::ColorHistogram),
+        FeatureWeights::single(FeatureKind::Regions),
+        random,
+    ]
+}
+
+fn options(
+    k: usize,
+    threads: usize,
+    use_index: bool,
+    weights: &FeatureWeights,
+    abandon: bool,
+) -> QueryOptions {
+    QueryOptions {
+        k,
+        threads,
+        use_index,
+        weights: weights.clone(),
+        abandon,
+        ..QueryOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn frame_query_cascade_matches_naive_scan(
+        seed in 0u64..1_000_000,
+        n in 4usize..=20,
+    ) {
+        force_parallel_pool();
+        let (engine, probe, range) = random_catalog(seed, n);
+        for weights in &weight_profiles(seed) {
+            for use_index in [false, true] {
+                for k in [0, 1, n / 2, n, n + 7] {
+                    // The naive full scan at one thread is the ground truth.
+                    let naive = engine.query_features(
+                        &probe, range, &options(k, 1, use_index, weights, false),
+                    );
+                    for threads in [1, 4, THREADS_AUTO] {
+                        for abandon in [false, true] {
+                            let got = engine.query_features(
+                                &probe, range,
+                                &options(k, threads, use_index, weights, abandon),
+                            );
+                            // Vec<FrameMatch> equality: ids, v_ids AND
+                            // bit-identical scores.
+                            prop_assert_eq!(
+                                &naive, &got,
+                                "k={} threads={} abandon={} use_index={}",
+                                k, threads, abandon, use_index
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clip_query_cascade_matches_naive_scan(
+        seed in 0u64..1_000_000,
+        n in 4usize..=14,
+    ) {
+        force_parallel_pool();
+        let (engine, _, _) = random_catalog(seed, n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let query: Vec<FeatureSet> =
+            (0..3).map(|_| FeatureSet::extract(&random_frame(&mut rng))).collect();
+        let nvid = engine.video_ids().len();
+        for weights in &weight_profiles(seed) {
+            for k in [1, nvid, nvid + 2] {
+                let naive = engine.query_feature_sequence(
+                    &query, &options(k, 1, true, weights, false),
+                );
+                for threads in [1, 4] {
+                    for abandon in [false, true] {
+                        let got = engine.query_feature_sequence(
+                            &query, &options(k, threads, true, weights, abandon),
+                        );
+                        prop_assert_eq!(
+                            &naive, &got,
+                            "k={} threads={} abandon={}", k, threads, abandon
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_query_matches_similarity_reference(
+        seed in 0u64..1_000_000,
+        n in 4usize..=12,
+    ) {
+        force_parallel_pool();
+        // Reference ranking computed entry-by-entry from the public
+        // combined_similarity (f64, no arena): the cascade's scores must
+        // agree to float-noise tolerance and rank identically.
+        let (engine, probe, range) = random_catalog(seed, n);
+        let weights = FeatureWeights::default();
+        let got = engine.query_features(
+            &probe, range, &options(n, 1, false, &weights, true),
+        );
+        prop_assert_eq!(got.len(), n);
+        let mut reference: Vec<(u64, f64)> = (0..n)
+            .map(|i| {
+                let e = engine.entry(i);
+                (e.i_id, engine.combined_similarity(&probe, &e.features, &weights))
+            })
+            .collect();
+        reference.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+        });
+        for (m, (ref_id, ref_score)) in got.iter().zip(&reference) {
+            // The arena stores descriptors as f32, the reference keeps
+            // f64 end-to-end, so agreement is to f32 quantisation noise
+            // (~1e-7 relative), not bit-exact.
+            prop_assert!(
+                (m.score - ref_score).abs() < 1e-6,
+                "score drift: arena {} vs reference {}", m.score, ref_score
+            );
+            // Ranks may only differ where reference scores genuinely tie
+            // within float noise; outside that, ids must line up.
+            if (m.score - ref_score).abs() == 0.0 {
+                prop_assert_eq!(m.i_id, *ref_id);
+            }
+        }
+    }
+}
+
+/// A self-query over a catalog containing the probe itself must put the
+/// exact duplicate first with a score of exactly 1.0 — the arena
+/// quantises query and catalog identically, so the cascade cannot lose
+/// the perfect match no matter how aggressively it abandons.
+#[test]
+fn self_query_survives_cascade_with_perfect_score() {
+    force_parallel_pool();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let dup = random_frame(&mut rng);
+    let mut entries = vec![entry_from_frame(1, 1, &dup)];
+    for i in 0..11u64 {
+        entries.push(entry_from_frame(i + 2, (i % 3) + 1, &random_frame(&mut rng)));
+    }
+    let engine = QueryEngine::from_catalog(entries, HashMap::new());
+    let probe = FeatureSet::extract(&dup);
+    let range = paper_range(&Histogram256::of_rgb_luma(&dup));
+    for threads in [1, 4] {
+        for abandon in [false, true] {
+            let got = engine.query_features(
+                &probe,
+                range,
+                &options(3, threads, false, &FeatureWeights::default(), abandon),
+            );
+            assert_eq!(got[0].i_id, 1, "threads={threads} abandon={abandon}");
+            assert_eq!(got[0].score, 1.0, "threads={threads} abandon={abandon}");
+        }
+    }
+}

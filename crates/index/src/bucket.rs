@@ -84,6 +84,19 @@ impl<T: Clone> RangeIndex<T> {
         self.buckets.values().flatten().cloned().collect()
     }
 
+    /// Items filed under any range overlapping `key`, sorted ascending.
+    /// For `usize` catalog indices this is *arena order*: a columnar
+    /// candidate scan walks each descriptor slab strictly forward instead
+    /// of hopping between bucket insertion orders.
+    pub fn overlap_candidates_sorted(&self, key: RangeKey) -> Vec<T>
+    where
+        T: Ord,
+    {
+        let mut out = self.overlap_candidates(key);
+        out.sort_unstable();
+        out
+    }
+
     /// Occupied buckets with their sizes, ordered by range.
     pub fn occupancy(&self) -> Vec<(RangeKey, usize)> {
         self.buckets.iter().map(|(k, v)| (*k, v.len())).collect()
@@ -161,6 +174,19 @@ mod tests {
         // A query spanning [0,127] reaches everything in the lower half.
         let c = idx.overlap_candidates(key(0, 127));
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn overlap_candidates_sorted_yields_arena_order() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(0, 127), 1);
+        idx.insert(key(0, 63), 2);
+        idx.insert(key(96, 127), 3);
+        // Raw overlap order follows bucket insertion: (0,63) before (0,127).
+        assert_eq!(idx.overlap_candidates(key(0, 31)), vec![2, 1]);
+        // The sorted variant is ascending regardless of bucket layout.
+        assert_eq!(idx.overlap_candidates_sorted(key(0, 31)), vec![1, 2]);
+        assert_eq!(idx.overlap_candidates_sorted(key(0, 127)), vec![1, 2, 3]);
     }
 
     #[test]

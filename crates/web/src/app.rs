@@ -284,9 +284,12 @@ impl<B: Backend> AppState<B> {
             },
         };
         let use_index = request.param("no_index").is_none();
+        let abandon = request.param("no_abandon").is_none();
         let engine = self.engine.lock().expect("mutex poisoned");
-        let results =
-            engine.query_frame(&frame, &QueryOptions { k, weights, use_index, ..Default::default() });
+        let results = engine.query_frame(
+            &frame,
+            &QueryOptions { k, weights, use_index, abandon, ..Default::default() },
+        );
 
         if request.param("format") == Some("json") {
             let items: Vec<String> = results
