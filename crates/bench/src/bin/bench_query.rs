@@ -14,6 +14,11 @@
 //! that **fails (exit 1)** unless the serial cascade visits ≤ 70% of the
 //! distance-kernel elements the full scan visits — the PR acceptance
 //! floor of a ≥30% reduction in element operations.
+//!
+//! The run also performs a query-during-ingest sweep over the segmented
+//! catalog — query latency measured idle vs racing a writer thread that
+//! ingests, removes and compacts — and writes it to
+//! `BENCH_concurrency.json` (`--out-concurrency FILE`).
 
 use cbvr_core::{QueryEngine, QueryOptions, Registry};
 use cbvr_core::engine::CatalogEntry;
@@ -96,6 +101,168 @@ impl Run {
     }
 }
 
+struct ConcurrencyRun {
+    mode: &'static str,
+    threads: usize,
+    queries: usize,
+    mean_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    snapshot_swaps: u64,
+    compaction_runs: u64,
+    segments_final: usize,
+    writer_rounds: u64,
+}
+
+impl ConcurrencyRun {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"mode\": \"{}\", \"threads\": {}, \"queries\": {}, ",
+                "\"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, ",
+                "\"snapshot_swaps\": {}, \"compaction_runs\": {}, ",
+                "\"segments_final\": {}, \"writer_rounds\": {}}}"
+            ),
+            self.mode,
+            self.threads,
+            self.queries,
+            self.mean_ns,
+            self.p50_ns,
+            self.p99_ns,
+            self.snapshot_swaps,
+            self.compaction_runs,
+            self.segments_final,
+            self.writer_rounds,
+        )
+    }
+}
+
+/// Query latency over the segmented catalog, idle vs racing a writer
+/// thread that ingests new videos, tombstones old ones, and compacts.
+/// Readers never block: each run also reports the snapshot swaps and
+/// compactions that happened underneath the measured queries.
+fn concurrency_sweep(
+    bases: &[CatalogEntry],
+    probe: &FeatureSet,
+    probe_range: cbvr_index::RangeKey,
+    smoke: bool,
+    out: &str,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let size = if smoke { 2_048 } else { 4_096 };
+    let queries = if smoke { 40 } else { 200 };
+    let thread_counts: &[usize] = if smoke { &[1] } else { &[1, 4] };
+    let k = 10;
+
+    let mut runs: Vec<ConcurrencyRun> = Vec::new();
+    for &threads in thread_counts {
+        for racing in [false, true] {
+            let entries: Vec<CatalogEntry> = (0..size)
+                .map(|i| {
+                    let b = &bases[i % BASE_FRAMES];
+                    CatalogEntry {
+                        i_id: i as u64 + 1,
+                        v_id: (i as u64 % 16) + 1,
+                        range: b.range,
+                        features: b.features.clone(),
+                    }
+                })
+                .collect();
+            let mut engine = QueryEngine::from_catalog(entries, HashMap::new());
+            let registry = Arc::new(Registry::new());
+            engine.set_telemetry(Arc::clone(&registry));
+            let engine = Arc::new(engine);
+
+            let done = Arc::new(AtomicBool::new(false));
+            let writer = racing.then(|| {
+                let engine = Arc::clone(&engine);
+                let done = Arc::clone(&done);
+                let batch: Vec<CatalogEntry> = bases.to_vec();
+                std::thread::spawn(move || {
+                    let mut round = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let v_id = 1_000 + round;
+                        let fresh: Vec<CatalogEntry> = batch
+                            .iter()
+                            .enumerate()
+                            .map(|(j, b)| CatalogEntry {
+                                i_id: 1_000_000 + round * 1_000 + j as u64,
+                                v_id,
+                                range: b.range,
+                                features: b.features.clone(),
+                            })
+                            .collect();
+                        engine.add_video(&format!("ingest-{round}"), fresh);
+                        if round >= 2 {
+                            engine.remove_video(1_000 + round - 2);
+                        }
+                        if round % 4 == 3 {
+                            engine.compact();
+                        }
+                        round += 1;
+                    }
+                    round
+                })
+            });
+
+            let options = QueryOptions {
+                k,
+                threads,
+                use_index: false,
+                abandon: true,
+                ..QueryOptions::default()
+            };
+            let mut latencies: Vec<u64> = Vec::with_capacity(queries);
+            for _ in 0..queries {
+                let start = Instant::now();
+                let results = engine.query_features(probe, probe_range, &options);
+                latencies.push(start.elapsed().as_nanos() as u64);
+                assert!(results.len() >= k.min(size));
+            }
+
+            done.store(true, Ordering::Relaxed);
+            let writer_rounds = writer.map(|h| h.join().expect("writer panicked")).unwrap_or(0);
+
+            latencies.sort_unstable();
+            let mean_ns =
+                latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+            let run = ConcurrencyRun {
+                mode: if racing { "racing" } else { "idle" },
+                threads,
+                queries,
+                mean_ns,
+                p50_ns: latencies[latencies.len() / 2],
+                p99_ns: latencies[(latencies.len() * 99) / 100],
+                snapshot_swaps: registry.counter("catalog.snapshot.swaps").get(),
+                compaction_runs: registry.counter("compaction.runs").get(),
+                segments_final: engine.segment_count(),
+                writer_rounds,
+            };
+            eprintln!(
+                "concurrency mode={:<6} threads={} mean={:>9.1}ns p50={:>8}ns p99={:>8}ns swaps={} compactions={} rounds={}",
+                run.mode,
+                run.threads,
+                run.mean_ns,
+                run.p50_ns,
+                run.p99_ns,
+                run.snapshot_swaps,
+                run.compaction_runs,
+                run.writer_rounds,
+            );
+            runs.push(run);
+        }
+    }
+
+    let body: Vec<String> = runs.iter().map(|r| format!("    {}", r.to_json())).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"query_during_ingest\",\n  \"k\": {k},\n  \"catalog_size\": {size},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(out, &json).expect("write concurrency bench output");
+    eprintln!("wrote {out}");
+}
+
 /// Sum of the per-stage abandon counters (exact in serial runs).
 fn abandon_total(registry: &Registry) -> u64 {
     cbvr_features::FeatureKind::ALL
@@ -108,6 +275,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out = String::from("BENCH_query.json");
+    let mut out_concurrency = String::from("BENCH_concurrency.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -115,6 +283,10 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = args[i].clone();
+            }
+            "--out-concurrency" => {
+                i += 1;
+                out_concurrency = args[i].clone();
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -224,6 +396,8 @@ fn main() {
     );
     std::fs::write(&out, &json).expect("write bench output");
     eprintln!("wrote {out}");
+
+    concurrency_sweep(&bases, &probe, probe_range, smoke, &out_concurrency);
 
     // CI gate: the serial cascade must visit ≤ 70% of the full scan's
     // distance-kernel elements on the 10k catalog (≥30% reduction).

@@ -65,7 +65,7 @@ fn main() {
         println!(
             "{:<6} {:<22} kf #{:<7} {:>8.4}",
             rank + 1,
-            engine.video_name(m.v_id).unwrap_or("?"),
+            engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string()),
             m.i_id,
             m.score
         );

@@ -78,6 +78,10 @@ pub enum Command {
     },
     /// Rewrite the database compactly.
     Vacuum,
+    /// Merge the catalog's segments, dropping tombstoned rows and
+    /// refreshing the score calibration; persists the merged layout to
+    /// the WAL manifest.
+    Compact,
     /// Print usage.
     Help,
 }
@@ -106,6 +110,8 @@ administrator commands:
   rename --id N --name NAME                       rename a stored video
   delete --id N                                   delete a video (cascades)
   vacuum                                          rewrite the db compactly
+  compact                                         merge catalog segments,
+                                                  drop removed rows, recalibrate
 
 user commands:
   query --image F [--k N] [--feature KIND] [--no-index] [--no-abandon]
@@ -256,6 +262,7 @@ fn parse_command(name: &str, cursor: &mut Cursor) -> Result<Command, ParseError>
         "export" => Command::Export { id: need!(id, "--id"), out: need!(out, "--out") },
         "stats" => Command::Stats { telemetry },
         "vacuum" => Command::Vacuum,
+        "compact" => Command::Compact,
         other => return Err(ParseError(format!("unknown command '{other}'"))),
     })
 }
@@ -359,6 +366,7 @@ mod tests {
             (vec!["--db", "d", "stats"], Command::Stats { telemetry: false }),
             (vec!["--db", "d", "stats", "--telemetry"], Command::Stats { telemetry: true }),
             (vec!["--db", "d", "vacuum"], Command::Vacuum),
+            (vec!["--db", "d", "compact"], Command::Compact),
         ] {
             let (_, cmd) = parse(&v(&args)).unwrap();
             assert_eq!(cmd, expect);

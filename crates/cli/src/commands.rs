@@ -8,7 +8,7 @@ use cbvr_core::{ingest_video, FeatureWeights, IngestConfig, QueryEngine, QueryOp
 use cbvr_imgproc::codec::{encode as encode_image, ImageFormat};
 use cbvr_keyframe::KeyframeConfig;
 use cbvr_storage::backend::FileBackend;
-use cbvr_storage::CbvrDatabase;
+use cbvr_storage::{CbvrDatabase, ManifestSegment};
 use cbvr_video::{decode_vsc, GeneratorConfig, VideoGenerator};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -123,7 +123,7 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
                 out.push_str(&format!(
                     "{:<6} {:<30} #{:<9} {:.4}\n",
                     rank + 1,
-                    engine.video_name(m.v_id).unwrap_or("?"),
+                    engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string()),
                     m.i_id,
                     m.score
                 ));
@@ -145,7 +145,7 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
                 out.push_str(&format!(
                     "{:<6} {:<30} {:.5}\n",
                     rank + 1,
-                    engine.video_name(m.v_id).unwrap_or("?"),
+                    engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string()),
                     m.distance
                 ));
             }
@@ -192,15 +192,29 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
             let mut db = open(db_dir)?;
             let s = db.stats().map_err(|e| err("stats", e))?;
             let mut out = format!(
-                "pages: {}\nvideos: {}\nkey frames: {}\nnext v_id: {}\nnext i_id: {}",
-                s.pages, s.videos, s.key_frames, s.next_v_id, s.next_i_id
+                "pages: {}\nvideos: {}\nkey frames: {}\nnext v_id: {}\nnext i_id: {}\n\
+                 manifest segments: {}",
+                s.pages, s.videos, s.key_frames, s.next_v_id, s.next_i_id, s.manifest_segments
             );
             if telemetry {
                 // Load the catalog so the query-engine counters exist
                 // (notably `query.arena.bytes`, recorded at arena build).
                 let engine =
                     QueryEngine::from_database(&mut db).map_err(|e| err("load catalog", e))?;
-                let _ = engine.len();
+                out.push_str(&format!(
+                    "\n\nsegments ({} live rows, {} tombstoned videos):\n{:<6} {:<8} {:<10} arena bytes\n",
+                    engine.len(),
+                    engine.tombstone_count(),
+                    "id",
+                    "rows",
+                    "live"
+                ));
+                for seg in engine.segment_stats() {
+                    out.push_str(&format!(
+                        "{:<6} {:<8} {:<10} {}\n",
+                        seg.id, seg.rows, seg.live_rows, seg.arena_bytes
+                    ));
+                }
                 // The process-wide registry plus the storage engine's
                 // counters, merged and sorted like `GET /metrics`.
                 let mut lines = cbvr_core::Registry::global().render_lines();
@@ -233,6 +247,31 @@ pub fn run(db_dir: &Path, command: Command) -> Result<String, CliError> {
                 .map_err(|e| err("swap wal", e))?;
             let _ = std::fs::remove_dir_all(&tmp);
             Ok(format!("vacuumed: {} pages -> {} pages", before.pages, after_pages))
+        }
+        Command::Compact => {
+            let mut db = open(db_dir)?;
+            let engine = QueryEngine::from_database(&mut db).map_err(|e| err("load catalog", e))?;
+            let report = engine.compact();
+            // Persist the merged layout: replace the WAL manifest with one
+            // record spanning the live rows, so the next catalog load sees
+            // a single segment too.
+            let manifest = if engine.is_empty() {
+                Vec::new()
+            } else {
+                vec![ManifestSegment {
+                    min_i_id: engine.entry(0).i_id,
+                    max_i_id: engine.entry(engine.len() - 1).i_id,
+                    rows: engine.len() as u64,
+                }]
+            };
+            db.replace_manifest(&manifest).map_err(|e| err("write manifest", e))?;
+            Ok(format!(
+                "compacted: {} segments -> {} ({} rows dropped, {} live rows, calibration refreshed)",
+                report.segments_before,
+                report.segments_after,
+                report.rows_dropped,
+                engine.len()
+            ))
         }
     }
 }
@@ -389,6 +428,42 @@ mod tests {
         assert!(out.contains("'news.vsc'"), "name derived from file: {out}");
         let out = cli(&db, &["list"]).unwrap();
         assert!(out.contains("news.vsc"), "{out}");
+        std::fs::remove_dir_all(&db).ok();
+    }
+
+    #[test]
+    fn compact_merges_manifest_segments() {
+        let db = temp_db("compact");
+        cli(&db, &["generate", "--category", "sports", "--seed", "1", "--name", "a"]).unwrap();
+        cli(&db, &["generate", "--category", "movie", "--seed", "2", "--name", "b"]).unwrap();
+
+        // Each ingest sealed one manifest segment.
+        let out = cli(&db, &["stats"]).unwrap();
+        assert!(out.contains("manifest segments: 2"), "{out}");
+
+        let out = cli(&db, &["compact"]).unwrap();
+        assert!(out.contains("compacted: 2 segments -> 1"), "{out}");
+        assert!(out.contains("0 rows dropped"), "{out}");
+
+        // The persisted layout is now one segment, and the telemetry view
+        // renders the per-segment table plus the catalog gauges.
+        let out = cli(&db, &["stats", "--telemetry"]).unwrap();
+        assert!(out.contains("manifest segments: 1"), "{out}");
+        assert!(out.contains("segments ("), "{out}");
+        assert!(out.contains("catalog.segments 1"), "{out}");
+        assert!(out.contains("catalog.tombstones 0"), "{out}");
+
+        // Queries still work on the compacted layout.
+        let out_dir = db.join("export");
+        cli(&db, &["export", "--id", "1", "--out", out_dir.to_str().unwrap()]).unwrap();
+        let bmp = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.path().extension().is_some_and(|x| x == "bmp"))
+            .expect("exported key frame");
+        let out = cli(&db, &["query", "--image", bmp.path().to_str().unwrap(), "--k", "2"]).unwrap();
+        assert!(out.lines().nth(1).unwrap().contains("1.0000"), "{out}");
+
         std::fs::remove_dir_all(&db).ok();
     }
 

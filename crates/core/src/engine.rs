@@ -12,24 +12,25 @@
 //!   dynamic-programming similarity) and rank videos;
 //! - **query by metadata** — substring match on video names.
 
-use crate::arena::{CascadePlan, CascadeTally, DescriptorArena, QueryVectors, KINDS};
+use crate::arena::{CascadePlan, CascadeTally, QueryVectors, KINDS};
 use crate::dtw::dtw_distance_abandon;
 use crate::error::Result;
 use crate::ingest::extract_feature_sets_parallel;
 use crate::pool::{ExecPool, TopK, THREADS_AUTO};
 use crate::score::ScoreCalibration;
-use crate::telemetry::{Counter, Histogram, Registry};
+use crate::segment::{CatalogSnapshot, EntryRef, Segment, SnapshotCell};
+use crate::telemetry::{Counter, Gauge, Histogram, Registry};
 use crate::weights::FeatureWeights;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use cbvr_features::{FeatureKind, FeatureSet};
 use cbvr_imgproc::{Histogram256, RgbImage};
-use cbvr_index::{paper_range, RangeIndex, RangeKey};
+use cbvr_index::{paper_range, RangeKey};
 use cbvr_keyframe::{extract_keyframes, KeyframeConfig};
 use cbvr_storage::backend::Backend;
-use cbvr_storage::CbvrDatabase;
+use cbvr_storage::{CbvrDatabase, ManifestSegment};
 use cbvr_video::Video;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// One catalog entry: a key frame's identity, range and features.
 #[derive(Clone, Debug)]
@@ -185,6 +186,18 @@ struct EngineMetrics {
     /// `query.abandon.dtw` — clip alignments cut off by the prefix-row
     /// bound.
     abandon_dtw: Arc<Counter>,
+    /// `catalog.snapshot.swaps` — snapshots published since start.
+    snapshot_swaps: Arc<Counter>,
+    /// `catalog.segments` — sealed segments in the current snapshot.
+    segments: Arc<Gauge>,
+    /// `catalog.tombstones` — tombstoned videos awaiting compaction.
+    tombstones: Arc<Gauge>,
+    /// `compaction.runs` — compaction passes completed.
+    compaction_runs: Arc<Counter>,
+    /// `compaction.rows_dropped` — tombstoned rows dropped by compaction.
+    compaction_rows_dropped: Arc<Counter>,
+    /// `compaction.secs` — whole seconds spent compacting (cumulative).
+    compaction_secs: Arc<Counter>,
 }
 
 impl EngineMetrics {
@@ -208,8 +221,20 @@ impl EngineMetrics {
             scan_survivors: registry.counter("query.scan.survivors"),
             abandon_kind: slots.map(|s| s.expect("every kind registered")),
             abandon_dtw: registry.counter("query.abandon.dtw"),
+            snapshot_swaps: registry.counter("catalog.snapshot.swaps"),
+            segments: registry.gauge("catalog.segments"),
+            tombstones: registry.gauge("catalog.tombstones"),
+            compaction_runs: registry.counter("compaction.runs"),
+            compaction_rows_dropped: registry.counter("compaction.rows_dropped"),
+            compaction_secs: registry.counter("compaction.secs"),
             registry,
         }
+    }
+
+    /// Record the shape of a snapshot that is about to be published.
+    fn observe_snapshot(&self, snapshot: &CatalogSnapshot) {
+        self.segments.set(snapshot.segments().len() as u64);
+        self.tombstones.set(snapshot.tombstones().len() as u64);
     }
 
     /// Fold one chunk's cascade tally into the counters (once per chunk,
@@ -275,24 +300,69 @@ impl DistCeil {
     }
 }
 
+/// What one compaction pass did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segments in the snapshot compaction started from.
+    pub segments_before: usize,
+    /// Segments in the published snapshot (the merged segment plus any
+    /// segments appended concurrently while compaction ran).
+    pub segments_after: usize,
+    /// Tombstoned rows dropped from the catalog.
+    pub rows_dropped: usize,
+}
+
+/// Per-segment diagnostics (`cbvr stats` renders one row per segment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Segment id (monotone within one engine's lifetime).
+    pub id: u64,
+    /// Sealed rows in the segment.
+    pub rows: usize,
+    /// Rows not masked by a video tombstone.
+    pub live_rows: usize,
+    /// Bytes of the segment's columnar arena slabs.
+    pub arena_bytes: usize,
+}
+
 /// The in-memory retrieval engine.
+///
+/// The catalog lives in immutable sealed [`Segment`]s referenced by an
+/// atomically swapped [`CatalogSnapshot`]: queries load the snapshot once
+/// (wait-free, no lock) and run entirely against it, so ingest, removal
+/// and compaction never block the read path. Mutations serialise on a
+/// small commit lock, build a *new* snapshot, and publish it with one
+/// pointer swap. A snapshot is the concatenation of its segments in list
+/// order, which keeps every result bit-identical to the old monolithic
+/// engine for any segment layout and any thread count.
 pub struct QueryEngine {
-    entries: Vec<CatalogEntry>,
-    /// Columnar f32 mirror of every entry's descriptors, in entry order —
-    /// the scan reads this, not `entries[i].features`.
-    arena: DescriptorArena,
-    index: RangeIndex<usize>,
-    calibration: ScoreCalibration,
-    video_names: HashMap<u64, String>,
-    /// Per-video entry indices, in key-frame order.
-    video_sequences: HashMap<u64, Vec<usize>>,
+    snapshot: SnapshotCell,
+    /// Serialises mutations (ingest appends, tombstoning, compaction
+    /// publish, recalibration). Never taken on the query path.
+    commit: Mutex<()>,
+    /// Next segment id (ids only need to be unique within the engine;
+    /// compaction uses them to tell base segments from concurrently
+    /// appended ones).
+    next_seg_id: AtomicU64,
     metrics: EngineMetrics,
 }
 
+/// Manifest-aligned entry groups plus the video-name map, as loaded
+/// from a database scan.
+type CatalogGroups = (Vec<Vec<CatalogEntry>>, HashMap<u64, String>);
+
 impl QueryEngine {
     /// Build from a database: scan `KEY_FRAMES`, parse feature strings,
-    /// index and calibrate.
+    /// group rows into segments along the WAL manifest, index and
+    /// calibrate.
     pub fn from_database<B: Backend>(db: &mut CbvrDatabase<B>) -> Result<QueryEngine> {
+        let (groups, names) = Self::load_groups(db)?;
+        Ok(Self::from_segmented(groups, names))
+    }
+
+    /// Scan the catalog out of the database as manifest-aligned segment
+    /// groups (global `i_id` order is preserved across group boundaries).
+    fn load_groups<B: Backend>(db: &mut CbvrDatabase<B>) -> Result<CatalogGroups> {
         let mut rows = Vec::new();
         db.scan_key_frames(|row| {
             rows.push(row.clone());
@@ -316,41 +386,103 @@ impl QueryEngine {
                 features,
             });
         }
+        let manifest = db.list_manifest()?;
         let names = db
             .list_videos()?
             .into_iter()
             .map(|(v_id, name, _)| (v_id, name))
             .collect();
-        Ok(Self::from_catalog(entries, names))
+        Ok((partition_by_manifest(entries, &manifest), names))
     }
 
     /// Build directly from entries (the evaluation harness skips the
-    /// storage round trip).
+    /// storage round trip). Seals the whole catalog as one segment.
     pub fn from_catalog(entries: Vec<CatalogEntry>, video_names: HashMap<u64, String>) -> QueryEngine {
-        let mut index = RangeIndex::new();
-        let mut video_sequences: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (i, e) in entries.iter().enumerate() {
-            index.insert(e.range, i);
-            video_sequences.entry(e.v_id).or_default().push(i);
-        }
-        let refs: Vec<&FeatureSet> = entries.iter().map(|e| &e.features).collect();
+        Self::from_segmented(vec![entries], video_names)
+    }
+
+    /// Build from pre-partitioned entry groups, one sealed segment per
+    /// non-empty group. The snapshot is the concatenation of the groups
+    /// in order, and calibration samples that concatenation — so any
+    /// split of the same catalog yields bit-identical query results.
+    pub fn from_segmented(
+        groups: Vec<Vec<CatalogEntry>>,
+        video_names: HashMap<u64, String>,
+    ) -> QueryEngine {
+        let refs: Vec<&FeatureSet> = groups.iter().flatten().map(|e| &e.features).collect();
         let calibration = ScoreCalibration::from_catalog(&refs);
-        let mut arena = DescriptorArena::new();
-        for e in &entries {
-            arena.push(&e.features);
+        let mut next_id = 0u64;
+        let mut segments = Vec::new();
+        for group in groups {
+            if group.is_empty() {
+                continue;
+            }
+            segments.push(Arc::new(Segment::seal(next_id, group)));
+            next_id += 1;
         }
+        let snapshot =
+            CatalogSnapshot::assemble(segments, BTreeSet::new(), video_names, calibration);
         let metrics = EngineMetrics::on(Registry::global().clone());
-        metrics.arena_bytes.add(arena.bytes() as u64);
-        QueryEngine { entries, arena, index, calibration, video_names, video_sequences, metrics }
+        metrics.arena_bytes.add(snapshot.arena_bytes() as u64);
+        metrics.observe_snapshot(&snapshot);
+        QueryEngine {
+            snapshot: SnapshotCell::new(Arc::new(snapshot)),
+            commit: Mutex::new(()),
+            next_seg_id: AtomicU64::new(next_id),
+            metrics,
+        }
+    }
+
+    /// The commit lock, recovering from poisoning: every publish installs
+    /// a *complete* snapshot with one swap, so a panic between lock and
+    /// publish leaves the previous snapshot fully intact and the lock is
+    /// safe to re-take.
+    fn commit_guard(&self) -> MutexGuard<'_, ()> {
+        self.commit.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Swap `snapshot` in as the published catalog. Callers must hold the
+    /// commit lock.
+    fn publish(&self, snapshot: CatalogSnapshot) {
+        self.metrics.observe_snapshot(&snapshot);
+        self.snapshot.swap(Arc::new(snapshot));
+        self.metrics.snapshot_swaps.inc();
+    }
+
+    /// Rebuild the published snapshot from the database in place (the web
+    /// admin's reload). The scan and parse run off the commit lock;
+    /// queries keep serving the old snapshot until the one-pointer
+    /// publish. Returns the number of live entries loaded.
+    pub fn reload_from_database<B: Backend>(&self, db: &mut CbvrDatabase<B>) -> Result<usize> {
+        let (groups, names) = Self::load_groups(db)?;
+        let refs: Vec<&FeatureSet> = groups.iter().flatten().map(|e| &e.features).collect();
+        let calibration = ScoreCalibration::from_catalog(&refs);
+        let _commit = self.commit_guard();
+        let mut segments = Vec::new();
+        for group in groups {
+            if group.is_empty() {
+                continue;
+            }
+            let id = self.next_seg_id.fetch_add(1, Ordering::Relaxed);
+            segments.push(Arc::new(Segment::seal(id, group)));
+        }
+        let snapshot = CatalogSnapshot::assemble(segments, BTreeSet::new(), names, calibration);
+        self.metrics.arena_bytes.add(snapshot.arena_bytes() as u64);
+        let live = snapshot.live();
+        self.publish(snapshot);
+        Ok(live)
     }
 
     /// Redirect this engine's telemetry into `registry` (tests inject a
     /// [`crate::telemetry::TestClock`]-driven registry this way; production
-    /// engines default to [`Registry::global`]). The arena-bytes gauge is
-    /// re-recorded so the new registry sees the current arena size.
+    /// engines default to [`Registry::global`]). The arena-bytes counter
+    /// and catalog gauges are re-recorded so the new registry sees the
+    /// current catalog shape.
     pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
         self.metrics = EngineMetrics::on(registry);
-        self.metrics.arena_bytes.add(self.arena.bytes() as u64);
+        let snap = self.snapshot.load();
+        self.metrics.arena_bytes.add(snap.arena_bytes() as u64);
+        self.metrics.observe_snapshot(&snap);
     }
 
     /// The registry this engine reports into.
@@ -358,36 +490,39 @@ impl QueryEngine {
         &self.metrics.registry
     }
 
-    /// Number of catalog entries (key frames).
+    /// Number of live catalog entries (key frames not tombstoned).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.snapshot.load().live()
     }
 
-    /// True when the catalog is empty.
+    /// True when the catalog has no live entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Borrow an entry.
-    pub fn entry(&self, i: usize) -> &CatalogEntry {
-        &self.entries[i]
+    /// Fetch the `i`-th live entry in global catalog order. Returns a
+    /// clone: the row is owned by an immutable snapshot that may be
+    /// retired at any time.
+    pub fn entry(&self, i: usize) -> CatalogEntry {
+        self.snapshot
+            .load()
+            .live_entry(i)
+            .cloned()
+            .expect("entry index out of bounds")
     }
 
-    /// Video ids with at least one key frame.
+    /// Video ids with at least one live key frame.
     pub fn video_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.video_sequences.keys().copied().collect();
+        let snap = self.snapshot.load();
+        let mut ids: Vec<u64> = snap.video_sequences().keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
-    /// The calibration in use (exposed for diagnostics/benches).
-    pub fn calibration(&self) -> &ScoreCalibration {
-        &self.calibration
-    }
-
-    /// The columnar descriptor arena (exposed for diagnostics/benches).
-    pub fn arena(&self) -> &DescriptorArena {
-        &self.arena
+    /// The calibration in use (exposed for diagnostics/benches). Returns
+    /// a clone — the live calibration belongs to the current snapshot.
+    pub fn calibration(&self) -> ScoreCalibration {
+        self.snapshot.load().calibration().clone()
     }
 
     /// Combined similarity between two feature sets under `weights`.
@@ -397,18 +532,8 @@ impl QueryEngine {
         b: &FeatureSet,
         weights: &FeatureWeights,
     ) -> f64 {
-        weights.combine(|kind| self.calibration.similarity(kind, a.distance(b, kind)))
-    }
-
-    /// Candidate entry indices for a query range, ascending — i.e. in
-    /// arena order, so the columnar scan streams each slab forward
-    /// instead of hopping between index buckets.
-    fn candidates(&self, range: RangeKey, use_index: bool) -> Vec<usize> {
-        if use_index {
-            self.index.overlap_candidates_sorted(range)
-        } else {
-            (0..self.entries.len()).collect()
-        }
+        let snap = self.snapshot.load();
+        weights.combine(|kind| snap.calibration().similarity(kind, a.distance(b, kind)))
     }
 
     /// Query by example frame.
@@ -434,23 +559,27 @@ impl QueryEngine {
         options: &QueryOptions,
     ) -> Vec<FrameMatch> {
         self.metrics.frame_requests.inc();
+        // One snapshot load serves the whole query: no lock is taken and
+        // concurrent ingest/compaction cannot change what this query sees.
+        let snap = self.snapshot.load();
         let candidates = {
             let _scan = self.metrics.registry.timer(&self.metrics.frame_scan);
-            self.candidates(range, options.use_index)
+            snap.candidates(range, options.use_index)
         };
         self.metrics.frame_candidates.add(candidates.len() as u64);
         if candidates.is_empty() || options.k == 0 {
             return Vec::new();
         }
-        // Candidates are scored through the arena cascade on the shared
-        // pool; each chunk keeps a bounded top-k heap (O(n log k), no full
-        // match vector) and folds it into the shared accumulator.
-        // `rank_frame_matches` is a total order and the cascade only ever
-        // abandons candidates *proven* unable to enter the top-k, so the
-        // selected set — and its sorted order — is independent of how
-        // chunks were claimed and of the `abandon` setting: any `threads`
-        // value returns exactly the serial result.
-        let plan = CascadePlan::new(&options.weights, &self.calibration);
+        // Candidates are scored through the per-segment arena cascades on
+        // the shared pool; each chunk keeps a bounded top-k heap
+        // (O(n log k), no full match vector) and folds it into the shared
+        // accumulator. `rank_frame_matches` is a total order and the
+        // cascade only ever abandons candidates *proven* unable to enter
+        // the top-k, so the selected set — and its sorted order — is
+        // independent of how chunks were claimed, of the `abandon`
+        // setting, and of the segment layout: any `threads` value returns
+        // exactly the serial monolithic result.
+        let plan = CascadePlan::new(&options.weights, snap.calibration());
         let query = QueryVectors::from_set(features);
         let merged = std::sync::Mutex::new(TopK::new(options.k, rank_frame_matches));
         let floor = ScoreFloor::new();
@@ -460,7 +589,7 @@ impl QueryEngine {
             ExecPool::global().run(candidates.len(), chunk, options.threads, |chunk_range| {
                 let mut local = TopK::new(options.k, rank_frame_matches);
                 let mut tally = CascadeTally::default();
-                for &i in &candidates[chunk_range] {
+                for &r in &candidates[chunk_range] {
                     // Threshold: the best lower bound of the final k-th
                     // best score this participant knows — its own heap's
                     // worst kept score (a k-th best over a subset never
@@ -474,10 +603,15 @@ impl QueryEngine {
                     } else {
                         f64::NEG_INFINITY
                     };
-                    if let Some(score) =
-                        self.arena.cascade_score(&query, i, &plan, threshold, &mut tally)
-                    {
-                        let e = &self.entries[i];
+                    let seg = snap.segment(r.segment);
+                    if let Some(score) = seg.arena().cascade_score(
+                        &query,
+                        r.row as usize,
+                        &plan,
+                        threshold,
+                        &mut tally,
+                    ) {
+                        let e = &seg.entries()[r.row as usize];
                         local.push(FrameMatch { i_id: e.i_id, v_id: e.v_id, score });
                     }
                 }
@@ -498,7 +632,7 @@ impl QueryEngine {
     /// instrumentation: candidate-set size vs the full catalog).
     pub fn candidate_count(&self, frame: &RgbImage, use_index: bool) -> usize {
         let range = paper_range(&Histogram256::of_rgb_luma(frame));
-        self.candidates(range, use_index).len()
+        self.snapshot.load().candidates(range, use_index).len()
     }
 
     /// Query by example clip: DTW over key-frame feature sequences.
@@ -524,11 +658,13 @@ impl QueryEngine {
         if options.k == 0 {
             return Vec::new();
         }
+        // One snapshot load serves the whole query (see query_features).
+        let snap = self.snapshot.load();
         // The query's quantised vectors are shared by every alignment;
         // build them once instead of once per catalog video.
-        let plan = CascadePlan::new(&options.weights, &self.calibration);
+        let plan = CascadePlan::new(&options.weights, snap.calibration());
         let query_vecs: Vec<QueryVectors> = query.iter().map(QueryVectors::from_set).collect();
-        let videos: Vec<(&u64, &Vec<usize>)> = self.video_sequences.iter().collect();
+        let videos: Vec<(&u64, &Vec<EntryRef>)> = snap.video_sequences().iter().collect();
         // One DTW per video, chunk size 1: alignments dominate the cost
         // and vary with sequence length, so fine-grained stealing
         // balances them. Each alignment runs under the exact prefix-row
@@ -550,8 +686,8 @@ impl QueryEngine {
                         f64::INFINITY
                     };
                     let aligned =
-                        dtw_distance_abandon(&query_vecs, indices, cutoff, |qv, &entry| {
-                            1.0 - self.arena.score(qv, entry, &plan)
+                        dtw_distance_abandon(&query_vecs, indices, cutoff, |qv, &r: &EntryRef| {
+                            1.0 - snap.segment(r.segment).arena().score(qv, r.row as usize, &plan)
                         });
                     match aligned {
                         Some(distance) => local.push(VideoMatch { v_id, distance }),
@@ -575,9 +711,10 @@ impl QueryEngine {
 
     /// Metadata query: case-insensitive substring match on video names.
     pub fn find_videos_by_name(&self, needle: &str) -> Vec<(u64, String)> {
+        let snap = self.snapshot.load();
         let needle = needle.to_lowercase();
-        let mut out: Vec<(u64, String)> = self
-            .video_names
+        let mut out: Vec<(u64, String)> = snap
+            .video_names()
             .iter()
             .filter(|(_, name)| name.to_lowercase().contains(&needle))
             .map(|(&id, name)| (id, name.clone()))
@@ -586,63 +723,246 @@ impl QueryEngine {
         out
     }
 
-    /// The name of a video, if known.
-    pub fn video_name(&self, v_id: u64) -> Option<&str> {
-        self.video_names.get(&v_id).map(String::as_str)
+    /// The name of a video, if known. Returns a clone — the name belongs
+    /// to the current snapshot.
+    pub fn video_name(&self, v_id: u64) -> Option<String> {
+        self.snapshot.load().video_names().get(&v_id).cloned()
     }
 
-    /// Add a freshly ingested video's entries incrementally (no full
-    /// rebuild). The calibration is *not* recomputed — it drifts slowly
-    /// and a full rebuild (`from_database`) refreshes it; incremental
-    /// adds keep interactive admin operations cheap.
-    pub fn add_video(&mut self, name: &str, entries: Vec<CatalogEntry>) {
-        let bytes_before = self.arena.bytes();
-        for e in entries {
-            let idx = self.entries.len();
-            self.index.insert(e.range, idx);
-            self.video_sequences.entry(e.v_id).or_default().push(idx);
-            self.video_names.insert(e.v_id, name.to_string());
-            self.arena.push(&e.features);
-            self.entries.push(e);
+    /// Add a freshly ingested video's entries by sealing them as one new
+    /// segment and publishing a snapshot that appends it — queries in
+    /// flight keep their old snapshot; no read is ever blocked. The
+    /// calibration is carried over, *not* recomputed — it drifts slowly
+    /// as the catalog grows, and [`QueryEngine::compact`] /
+    /// [`QueryEngine::recalibrate`] refresh it; incremental adds keep
+    /// interactive admin operations cheap.
+    pub fn add_video(&self, name: &str, entries: Vec<CatalogEntry>) {
+        if entries.is_empty() {
+            return;
         }
-        let grown = self.arena.bytes().saturating_sub(bytes_before);
-        if grown > 0 {
-            self.metrics.arena_bytes.add(grown as u64);
-        }
-    }
-
-    /// Remove a video's entries incrementally. Rebuilds the range index
-    /// and sequence map over the surviving entries (cheap relative to
-    /// feature extraction); calibration is left as-is.
-    pub fn remove_video(&mut self, v_id: u64) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.v_id != v_id);
-        let removed = before - self.entries.len();
-        if removed > 0 {
-            self.video_names.remove(&v_id);
-            self.index = RangeIndex::new();
-            self.video_sequences.clear();
-            let mut arena = DescriptorArena::new();
-            for (i, e) in self.entries.iter().enumerate() {
-                self.index.insert(e.range, i);
-                self.video_sequences.entry(e.v_id).or_default().push(i);
-                arena.push(&e.features);
+        let _commit = self.commit_guard();
+        let snap = self.snapshot.load();
+        let seg = Segment::seal(self.next_seg_id.fetch_add(1, Ordering::Relaxed), entries);
+        self.metrics.arena_bytes.add(seg.arena().bytes() as u64);
+        let mut names = snap.video_names().clone();
+        let mut tombstones = snap.tombstones().clone();
+        let mut resurrected = BTreeSet::new();
+        for e in seg.entries() {
+            names.insert(e.v_id, name.to_string());
+            // Re-adding a previously removed id brings it back; its rows
+            // must then be exactly the ones added now, so the old masked
+            // rows are purged from their segments below rather than
+            // resurrected alongside.
+            if tombstones.remove(&e.v_id) {
+                resurrected.insert(e.v_id);
             }
-            self.arena = arena;
-            self.metrics.arena_bytes.add(self.arena.bytes() as u64);
         }
+        let mut segments = Vec::with_capacity(snap.segments().len() + 1);
+        for old in snap.segments() {
+            if resurrected.is_empty()
+                || !old.entries().iter().any(|e| resurrected.contains(&e.v_id))
+            {
+                segments.push(Arc::clone(old));
+                continue;
+            }
+            let kept: Vec<CatalogEntry> = old
+                .entries()
+                .iter()
+                .filter(|e| !resurrected.contains(&e.v_id))
+                .cloned()
+                .collect();
+            if !kept.is_empty() {
+                let id = self.next_seg_id.fetch_add(1, Ordering::Relaxed);
+                let rebuilt = Segment::seal(id, kept);
+                self.metrics.arena_bytes.add(rebuilt.arena().bytes() as u64);
+                segments.push(Arc::new(rebuilt));
+            }
+        }
+        segments.push(Arc::new(seg));
+        let next =
+            CatalogSnapshot::assemble(segments, tombstones, names, snap.calibration().clone());
+        self.publish(next);
+    }
+
+    /// Remove a video by tombstoning it: the published snapshot masks its
+    /// rows everywhere (candidates, sequences, stats) without touching the
+    /// sealed segments; compaction reclaims the space later. Returns the
+    /// number of key frames removed.
+    pub fn remove_video(&self, v_id: u64) -> usize {
+        let _commit = self.commit_guard();
+        let snap = self.snapshot.load();
+        let removed = snap.video_sequences().get(&v_id).map_or(0, Vec::len);
+        if removed == 0 {
+            return 0;
+        }
+        let mut names = snap.video_names().clone();
+        names.remove(&v_id);
+        let mut tombstones = snap.tombstones().clone();
+        tombstones.insert(v_id);
+        let next = CatalogSnapshot::assemble(
+            snap.segments().to_vec(),
+            tombstones,
+            names,
+            snap.calibration().clone(),
+        );
+        self.publish(next);
         removed
     }
 
-    /// Render the Fig. 7 index tree with catalog occupancy.
-    pub fn render_index_tree(&self) -> String {
-        self.index.render_tree()
+    /// Merge the catalog into one segment, dropping tombstoned rows and
+    /// recomputing the calibration from the live entries (in global
+    /// order, so it equals a from-scratch rebuild's calibration).
+    ///
+    /// The heavy work — cloning live rows, recalibrating, sealing the
+    /// merged segment's arena and index — runs *off* the commit lock;
+    /// queries and ingests proceed throughout. The publish step rebases
+    /// over segments appended while the merge ran: the new snapshot is
+    /// the merged segment followed by every segment that was not part of
+    /// the base, preserving global order for those appended rows.
+    pub fn compact(&self) -> CompactionReport {
+        let started = self.metrics.registry.now_nanos();
+        let base = self.snapshot.load();
+        let base_ids: BTreeSet<u64> = base.segments().iter().map(|s| s.id()).collect();
+        let segments_before = base.segments().len();
+        let merged_entries = base.live_entries_cloned();
+        let rows_dropped = base.rows() - merged_entries.len();
+        let refs: Vec<&FeatureSet> = merged_entries.iter().map(|e| &e.features).collect();
+        let calibration = ScoreCalibration::from_catalog(&refs);
+        let merged = (!merged_entries.is_empty()).then(|| {
+            let seg = Segment::seal(
+                self.next_seg_id.fetch_add(1, Ordering::Relaxed),
+                merged_entries,
+            );
+            self.metrics.arena_bytes.add(seg.arena().bytes() as u64);
+            Arc::new(seg)
+        });
+
+        let _commit = self.commit_guard();
+        let current = self.snapshot.load();
+        let mut segments: Vec<Arc<Segment>> = merged.into_iter().collect();
+        for seg in current.segments() {
+            if !base_ids.contains(&seg.id()) {
+                segments.push(Arc::clone(seg));
+            }
+        }
+        // Keep only tombstones that still mask rows in the new segment
+        // list (a video removed mid-merge still has rows in the merged
+        // segment; one fully compacted away needs no tombstone).
+        let present: BTreeSet<u64> = segments
+            .iter()
+            .flat_map(|s| s.entries().iter().map(|e| e.v_id))
+            .collect();
+        let tombstones: BTreeSet<u64> = current
+            .tombstones()
+            .iter()
+            .copied()
+            .filter(|v| present.contains(v))
+            .collect();
+        let next = CatalogSnapshot::assemble(
+            segments,
+            tombstones,
+            current.video_names().clone(),
+            calibration,
+        );
+        let segments_after = next.segments().len();
+        self.publish(next);
+        self.metrics.compaction_runs.inc();
+        self.metrics.compaction_rows_dropped.add(rows_dropped as u64);
+        let elapsed = self.metrics.registry.now_nanos().saturating_sub(started);
+        self.metrics.compaction_secs.add(elapsed / 1_000_000_000);
+        CompactionReport { segments_before, segments_after, rows_dropped }
     }
 
-    /// Index statistics (for the ablation bench).
-    pub fn index_stats(&self) -> cbvr_index::IndexStats {
-        self.index.stats()
+    /// Recompute the calibration from the live entries (global order) and
+    /// republish the current segments unchanged. Same calibration as a
+    /// from-scratch rebuild, without rebuilding arenas or indexes.
+    pub fn recalibrate(&self) {
+        let _commit = self.commit_guard();
+        let snap = self.snapshot.load();
+        let calibration = ScoreCalibration::from_catalog(&snap.live_feature_refs());
+        let next = CatalogSnapshot::assemble(
+            snap.segments().to_vec(),
+            snap.tombstones().clone(),
+            snap.video_names().clone(),
+            calibration,
+        );
+        self.publish(next);
     }
+
+    /// Per-segment shape of the current snapshot (`cbvr stats`).
+    pub fn segment_stats(&self) -> Vec<SegmentStats> {
+        let snap = self.snapshot.load();
+        snap.segments()
+            .iter()
+            .map(|s| SegmentStats {
+                id: s.id(),
+                rows: s.len(),
+                live_rows: s
+                    .entries()
+                    .iter()
+                    .filter(|e| !snap.tombstones().contains(&e.v_id))
+                    .count(),
+                arena_bytes: s.arena().bytes(),
+            })
+            .collect()
+    }
+
+    /// Segments in the current snapshot.
+    pub fn segment_count(&self) -> usize {
+        self.snapshot.load().segments().len()
+    }
+
+    /// Tombstoned videos awaiting compaction.
+    pub fn tombstone_count(&self) -> usize {
+        self.snapshot.load().tombstones().len()
+    }
+
+    /// Run `f` while holding the commit lock (test hook: proves queries
+    /// complete while a mutation is mid-commit, i.e. the read path takes
+    /// no engine-wide lock).
+    #[doc(hidden)]
+    pub fn with_commit_locked<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _commit = self.commit_guard();
+        f()
+    }
+
+    /// Render the Fig. 7 index tree with catalog occupancy (merged across
+    /// segments, tombstones excluded).
+    pub fn render_index_tree(&self) -> String {
+        self.snapshot.load().bucket_counts().render_tree()
+    }
+
+    /// Index statistics (for the ablation bench), merged across segments
+    /// with tombstoned rows excluded.
+    pub fn index_stats(&self) -> cbvr_index::IndexStats {
+        self.snapshot.load().bucket_counts().stats()
+    }
+}
+
+/// Group a flat `i_id`-ordered catalog scan into segment groups along the
+/// WAL manifest. Rows covered by the same manifest record share a group;
+/// consecutive rows covered by no record (legacy databases, or rows
+/// ingested before the manifest existed) are grouped together as runs.
+/// Concatenating the groups in order reproduces the scan order exactly.
+fn partition_by_manifest(
+    entries: Vec<CatalogEntry>,
+    manifest: &[ManifestSegment],
+) -> Vec<Vec<CatalogEntry>> {
+    let mut groups: Vec<Vec<CatalogEntry>> = Vec::new();
+    let mut current: Option<Option<usize>> = None;
+    let mut j = 0usize;
+    for e in entries {
+        while j < manifest.len() && manifest[j].max_i_id < e.i_id {
+            j += 1;
+        }
+        let key = (j < manifest.len() && manifest[j].min_i_id <= e.i_id).then_some(j);
+        if current != Some(key) {
+            groups.push(Vec::new());
+            current = Some(key);
+        }
+        groups.last_mut().expect("group pushed above").push(e);
+    }
+    groups
 }
 
 #[cfg(test)]
@@ -702,7 +1022,7 @@ mod tests {
         let (engine, _) = populated_engine();
         // Query with a catalog key frame's own features: its entry must
         // score 1.0 and rank first.
-        let e = engine.entry(0).clone();
+        let e = engine.entry(0);
         let results = engine.query_features(&e.features, e.range, &QueryOptions::default());
         assert_eq!(results[0].i_id, e.i_id);
         assert!((results[0].score - 1.0).abs() < 1e-9);
@@ -780,7 +1100,7 @@ mod tests {
     #[test]
     fn single_feature_weights_change_ranking_scores() {
         let (engine, _) = populated_engine();
-        let e = engine.entry(1).clone();
+        let e = engine.entry(1);
         let combined = engine.query_features(&e.features, e.range, &QueryOptions::default());
         let histogram_only = engine.query_features(
             &e.features,
@@ -821,7 +1141,7 @@ mod tests {
         let mut db = cbvr_storage::CbvrDatabase::in_memory().unwrap();
         let v1 = g.generate(Category::Sports, 1).unwrap();
         ingest_video(&mut db, "one", &v1, &IngestConfig::default()).unwrap();
-        let mut engine = QueryEngine::from_database(&mut db).unwrap();
+        let engine = QueryEngine::from_database(&mut db).unwrap();
 
         // Ingest a second video, then add it incrementally.
         let v2 = g.generate(Category::Movie, 2).unwrap();
@@ -862,8 +1182,8 @@ mod tests {
     #[test]
     fn incremental_remove_excludes_video() {
         let (engine, labels) = populated_engine();
-        let mut engine = QueryEngine::from_catalog(
-            (0..engine.len()).map(|i| engine.entry(i).clone()).collect(),
+        let engine = QueryEngine::from_catalog(
+            (0..engine.len()).map(|i| engine.entry(i)).collect(),
             labels
                 .iter()
                 .map(|(v, c)| (*v, c.name().to_string()))
@@ -934,5 +1254,134 @@ mod tests {
         assert!(tree.contains("0-255 (root)"));
         let stats = engine.index_stats();
         assert_eq!(stats.items, engine.len());
+    }
+
+    fn fixture_names(labels: &[(u64, Category)]) -> HashMap<u64, String> {
+        labels.iter().map(|(v, c)| (*v, c.name().to_string())).collect()
+    }
+
+    fn fixture_entries(engine: &QueryEngine) -> Vec<CatalogEntry> {
+        (0..engine.len()).map(|i| engine.entry(i)).collect()
+    }
+
+    #[test]
+    fn segment_split_returns_bit_identical_results() {
+        let (engine, labels) = populated_engine();
+        let entries = fixture_entries(engine);
+        let mid = entries.len() / 2;
+        let split = QueryEngine::from_segmented(
+            vec![entries[..mid].to_vec(), entries[mid..].to_vec()],
+            fixture_names(labels),
+        );
+        assert_eq!(split.segment_count(), 2);
+        assert_eq!(split.len(), engine.len());
+        // Same calibration (sampled over the same global order) and the
+        // exact same ranked matches, scores included.
+        assert_eq!(split.calibration(), engine.calibration());
+        let probe = engine.entry(3);
+        for use_index in [false, true] {
+            let opts = QueryOptions { k: 10, use_index, ..Default::default() };
+            assert_eq!(
+                engine.query_features(&probe.features, probe.range, &opts),
+                split.query_features(&probe.features, probe.range, &opts),
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_matches_rebuild_calibration() {
+        let (engine, labels) = populated_engine();
+        let entries = fixture_entries(engine);
+        let mid = entries.len() / 2;
+        let seg = QueryEngine::from_segmented(
+            vec![entries[..mid].to_vec(), entries[mid..].to_vec()],
+            fixture_names(labels),
+        );
+        let victim = labels[0].0;
+        let removed = seg.remove_video(victim);
+        assert!(removed > 0);
+        assert_eq!(seg.tombstone_count(), 1);
+        let rows_before: usize = seg.segment_stats().iter().map(|s| s.rows).sum();
+
+        let report = seg.compact();
+        assert_eq!(report.segments_before, 2);
+        assert_eq!(report.segments_after, 1);
+        assert_eq!(report.rows_dropped, removed);
+        assert_eq!(seg.tombstone_count(), 0);
+        let rows_after: usize = seg.segment_stats().iter().map(|s| s.rows).sum();
+        assert_eq!(rows_after, rows_before - removed);
+
+        // Post-compaction state equals a from-scratch rebuild over the
+        // survivors: same calibration, same ranked results bit-for-bit.
+        let survivors: Vec<CatalogEntry> =
+            entries.iter().filter(|e| e.v_id != victim).cloned().collect();
+        let mut names = fixture_names(labels);
+        names.remove(&victim);
+        let rebuilt = QueryEngine::from_catalog(survivors, names);
+        assert_eq!(seg.calibration(), rebuilt.calibration());
+        let probe = engine.entry(0);
+        let opts = QueryOptions { k: 100, use_index: false, ..Default::default() };
+        assert_eq!(
+            seg.query_features(&probe.features, probe.range, &opts),
+            rebuilt.query_features(&probe.features, probe.range, &opts),
+        );
+    }
+
+    #[test]
+    fn readding_a_removed_video_resurrects_it() {
+        let (engine, labels) = populated_engine();
+        let entries = fixture_entries(engine);
+        let seg = QueryEngine::from_catalog(entries.clone(), fixture_names(labels));
+        let victim = labels[0].0;
+        let victim_entries: Vec<CatalogEntry> =
+            entries.iter().filter(|e| e.v_id == victim).cloned().collect();
+        let removed = seg.remove_video(victim);
+        assert_eq!(removed, victim_entries.len());
+        seg.add_video("returned", victim_entries);
+        assert_eq!(seg.len(), entries.len());
+        assert_eq!(seg.tombstone_count(), 0);
+        assert!(seg.video_ids().contains(&victim));
+        assert_eq!(seg.video_name(victim).as_deref(), Some("returned"));
+    }
+
+    #[test]
+    fn from_database_groups_one_segment_per_ingest() {
+        let g = generator();
+        let mut db = cbvr_storage::CbvrDatabase::in_memory().unwrap();
+        for seed in 0..2u64 {
+            let video = g.generate(Category::Sports, 40 + seed).unwrap();
+            ingest_video(&mut db, &format!("v{seed}"), &video, &IngestConfig::default())
+                .unwrap();
+        }
+        let engine = QueryEngine::from_database(&mut db).unwrap();
+        assert_eq!(engine.segment_count(), 2, "{:?}", engine.segment_stats());
+        assert_eq!(engine.len(), engine.segment_stats().iter().map(|s| s.rows).sum::<usize>());
+    }
+
+    #[test]
+    fn partition_by_manifest_groups_runs_and_orphans() {
+        let img = RgbImage::new(8, 8).unwrap();
+        let features = FeatureSet::extract(&img);
+        let entry = |i_id: u64| CatalogEntry {
+            i_id,
+            v_id: i_id,
+            range: RangeKey::new(0, 255),
+            features: features.clone(),
+        };
+        let entries: Vec<CatalogEntry> = (1..=6).map(entry).collect();
+        let manifest = [
+            ManifestSegment { min_i_id: 1, max_i_id: 2, rows: 2 },
+            ManifestSegment { min_i_id: 5, max_i_id: 6, rows: 2 },
+        ];
+        let groups = partition_by_manifest(entries, &manifest);
+        let ids: Vec<Vec<u64>> =
+            groups.iter().map(|g| g.iter().map(|e| e.i_id).collect()).collect();
+        // Manifest-covered runs become their own groups; the uncovered
+        // rows 3-4 form one orphan run between them.
+        assert_eq!(ids, vec![vec![1, 2], vec![3, 4], vec![5, 6]]);
+        // No manifest at all: one group holding everything.
+        let flat = partition_by_manifest((1..=3).map(entry).collect(), &[]);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].len(), 3);
     }
 }

@@ -26,7 +26,7 @@ use cbvr_imgproc::{Histogram256, RgbImage};
 use cbvr_index::{paper_range, RangeKey};
 use cbvr_keyframe::{extract_keyframes, Keyframe, KeyframeConfig};
 use cbvr_storage::backend::Backend;
-use cbvr_storage::{CbvrDatabase, KeyFrameRecord, VideoRecord};
+use cbvr_storage::{CbvrDatabase, KeyFrameRecord, ManifestSegment, VideoRecord};
 use cbvr_video::{encode_vsc, FrameCodec, Video};
 
 /// Ingestion parameters.
@@ -201,6 +201,15 @@ pub fn ingest_video<B: Backend>(
             };
             keyframe_ids.push(db.insert_key_frame(&record)?);
         }
+        // Seal the batch as one catalog segment. Same atomic unit as the
+        // rows: a crash recovers to the previous published snapshot.
+        if let (Some(&min_i_id), Some(&max_i_id)) = (keyframe_ids.first(), keyframe_ids.last()) {
+            db.append_manifest_segment(ManifestSegment {
+                min_i_id,
+                max_i_id,
+                rows: keyframe_ids.len() as u64,
+            })?;
+        }
         Ok((v_id, keyframe_ids))
     })?;
 
@@ -329,5 +338,19 @@ mod tests {
         assert_eq!(db.video_count().unwrap(), 2);
         let kf_a = db.key_frames_of_video(a.v_id).unwrap();
         assert_eq!(kf_a, a.keyframe_ids);
+    }
+
+    #[test]
+    fn ingest_seals_one_manifest_segment_per_video() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let a = ingest_video(&mut db, "a", &small_clip(1), &IngestConfig::default()).unwrap();
+        let b = ingest_video(&mut db, "b", &small_clip(2), &IngestConfig::default()).unwrap();
+        let manifest = db.list_manifest().unwrap();
+        assert_eq!(manifest.len(), 2);
+        assert_eq!(manifest[0].min_i_id, *a.keyframe_ids.first().unwrap());
+        assert_eq!(manifest[0].max_i_id, *a.keyframe_ids.last().unwrap());
+        assert_eq!(manifest[0].rows, a.keyframe_ids.len() as u64);
+        assert_eq!(manifest[1].min_i_id, *b.keyframe_ids.first().unwrap());
+        assert_eq!(manifest[1].rows, b.keyframe_ids.len() as u64);
     }
 }

@@ -24,6 +24,11 @@
 //! - [`score`] — distance→similarity calibration so heterogeneous
 //!   feature distances combine on a common scale;
 //! - [`weights`] — per-feature weights for the combined ranking;
+//! - [`segment`] — immutable sealed catalog segments and the atomically
+//!   swapped [`segment::CatalogSnapshot`] the engine serves queries
+//!   from: readers are lock-free, mutations serialise on a small commit
+//!   lock, and a background compaction merges small segments and drops
+//!   tombstoned rows;
 //! - [`pool`] — the shared work-stealing execution pool every parallel
 //!   path (scoring, DTW, extraction, calibration) runs on;
 //! - [`telemetry`] — deterministic counters, latency histograms and
@@ -40,16 +45,21 @@ pub mod error;
 pub mod ingest;
 pub mod pool;
 pub mod score;
+pub mod segment;
 pub mod telemetry;
 pub mod weights;
 
 pub use arena::{CascadePlan, CascadeTally, DescriptorArena, QueryVectors, CASCADE_ORDER};
-pub use engine::{FrameMatch, QueryEngine, QueryOptions, QueryPreprocess, VideoMatch};
+pub use engine::{
+    CompactionReport, FrameMatch, QueryEngine, QueryOptions, QueryPreprocess, SegmentStats,
+    VideoMatch,
+};
 pub use feedback::adapt_weights;
 pub use error::{CoreError, Result};
 pub use ingest::{ingest_video, IngestConfig, IngestReport};
 pub use pool::{ExecPool, THREADS_AUTO};
-pub use telemetry::{Clock, Counter, Histogram, MonotonicClock, Registry, Span, TestClock};
+pub use segment::{CatalogSnapshot, EntryRef, Segment};
+pub use telemetry::{Clock, Counter, Gauge, Histogram, MonotonicClock, Registry, Span, TestClock};
 pub use weights::FeatureWeights;
 
 // Re-exports of the substrate types the public API surfaces.

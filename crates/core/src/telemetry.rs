@@ -7,6 +7,8 @@
 //! substrate every layer reports through:
 //!
 //! - [`Counter`] — a lock-free monotonic event count (one atomic);
+//! - [`Gauge`] — a lock-free last-value readout (current segment count,
+//!   tombstoned videos) that can go down as well as up;
 //! - [`Histogram`] — a fixed-log2-bucket latency histogram with
 //!   `count`/`sum`/`p50`/`p99` readouts, recorded in nanoseconds;
 //! - [`Span`] — an RAII guard timing one pipeline stage into a
@@ -118,6 +120,33 @@ impl Counter {
     }
 
     /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free last-value gauge.
+///
+/// Unlike a [`Counter`] the value is *set*, not accumulated: readouts
+/// report current state (segments in the catalog, tombstoned videos)
+/// rather than history, and may go down as well as up.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the current value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
@@ -250,6 +279,7 @@ impl Drop for Span {
 pub struct Registry {
     clock: Arc<dyn Clock>,
     counters: RwLock<std::collections::BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<std::collections::BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<std::collections::BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -270,6 +300,7 @@ impl Registry {
         Registry {
             clock,
             counters: RwLock::new(std::collections::BTreeMap::new()),
+            gauges: RwLock::new(std::collections::BTreeMap::new()),
             histograms: RwLock::new(std::collections::BTreeMap::new()),
         }
     }
@@ -300,6 +331,15 @@ impl Registry {
             return Arc::clone(c);
         }
         let mut map = self.counters.write().expect("telemetry lock poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().expect("telemetry lock poisoned").get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.gauges.write().expect("telemetry lock poisoned");
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
@@ -335,6 +375,9 @@ impl Registry {
         let mut lines = Vec::new();
         for (name, c) in self.counters.read().expect("telemetry lock poisoned").iter() {
             lines.push(format!("{} {}", escape_metric_name(name), c.get()));
+        }
+        for (name, g) in self.gauges.read().expect("telemetry lock poisoned").iter() {
+            lines.push(format!("{} {}", escape_metric_name(name), g.get()));
         }
         for (name, h) in self.histograms.read().expect("telemetry lock poisoned").iter() {
             let name = escape_metric_name(name);
@@ -377,6 +420,17 @@ mod tests {
         c.inc();
         c.add(41);
         assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_sets_and_renders() {
+        let registry = Registry::with_clock(Arc::new(TestClock::new()));
+        let g = registry.gauge("catalog.segments");
+        g.set(5);
+        g.set(3);
+        assert_eq!(g.get(), 3, "gauges overwrite, not accumulate");
+        assert_eq!(registry.gauge("catalog.segments").get(), 3, "handles shared per name");
+        assert!(registry.render_lines().contains(&"catalog.segments 3".to_string()));
     }
 
     #[test]

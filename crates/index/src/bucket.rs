@@ -102,26 +102,92 @@ impl<T: Clone> RangeIndex<T> {
         self.buckets.iter().map(|(k, v)| (*k, v.len())).collect()
     }
 
-    /// Aggregate statistics.
-    pub fn stats(&self) -> IndexStats {
-        let mut per_level = vec![0usize; 3];
-        let mut max_bucket = 0;
-        for (k, v) in &self.buckets {
-            max_bucket = max_bucket.max(v.len());
-            let level = k.level() as usize;
-            if level < per_level.len() {
-                per_level[level] += v.len();
+    /// Visit every `(key, item)` pair in bucket order. This is what lets
+    /// a caller holding several per-segment indexes fold them — with a
+    /// per-item filter — into one [`BucketCounts`] view.
+    pub fn for_each_item(&self, mut f: impl FnMut(RangeKey, &T)) {
+        for (k, items) in &self.buckets {
+            for item in items {
+                f(*k, item);
             }
         }
-        IndexStats { items: self.items, buckets: self.buckets.len(), max_bucket, per_level }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> IndexStats {
+        let mut counts = BucketCounts::new();
+        counts.add_index(self, |_| true);
+        counts.stats()
     }
 
     /// Render the Fig. 7 indexing tree with per-node occupancy.
     pub fn render_tree(&self) -> String {
+        let mut counts = BucketCounts::new();
+        counts.add_index(self, |_| true);
+        counts.render_tree()
+    }
+}
+
+/// Per-bucket occupancy merged across one or more indexes.
+///
+/// The segmented catalog keeps one [`RangeIndex`] per sealed segment;
+/// this accumulator folds them (optionally filtering out tombstoned
+/// items) into the single [`IndexStats`] / Fig. 7 rendering the
+/// diagnostics surface expects. A bucket present in several segments
+/// counts once, with its sizes summed — exactly what one monolithic
+/// index over the same items would report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BucketCounts {
+    counts: BTreeMap<RangeKey, usize>,
+    items: usize,
+}
+
+impl BucketCounts {
+    /// An empty accumulator.
+    pub fn new() -> BucketCounts {
+        BucketCounts::default()
+    }
+
+    /// Count one item filed under `key`.
+    pub fn add_item(&mut self, key: RangeKey) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        self.items += 1;
+    }
+
+    /// Fold in every item of `index` accepted by `keep`.
+    pub fn add_index<T: Clone>(&mut self, index: &RangeIndex<T>, mut keep: impl FnMut(&T) -> bool) {
+        index.for_each_item(|key, item| {
+            if keep(item) {
+                self.add_item(key);
+            }
+        });
+    }
+
+    /// Items counted so far.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Aggregate statistics over the merged view.
+    pub fn stats(&self) -> IndexStats {
+        let mut per_level = vec![0usize; 3];
+        let mut max_bucket = 0;
+        for (k, &n) in &self.counts {
+            max_bucket = max_bucket.max(n);
+            let level = k.level() as usize;
+            if level < per_level.len() {
+                per_level[level] += n;
+            }
+        }
+        IndexStats { items: self.items, buckets: self.counts.len(), max_bucket, per_level }
+    }
+
+    /// Render the Fig. 7 indexing tree with per-node occupancy of the
+    /// merged view.
+    pub fn render_tree(&self) -> String {
         let mut out = String::from("0-255 (root)\n");
-        let count = |min: u8, max: u8| {
-            self.buckets.get(&RangeKey { min, max }).map_or(0, Vec::len)
-        };
+        let count =
+            |min: u8, max: u8| self.counts.get(&RangeKey { min, max }).copied().unwrap_or(0);
         for level in 1..=3u32 {
             let width = 256u32 >> level;
             let mut lo = 0u32;
@@ -233,6 +299,55 @@ mod tests {
         assert!(rendered.contains("224-255 [1]"), "{rendered}");
         assert!(rendered.contains("0-255 (root)"));
         assert_eq!(rendered.lines().count(), 4);
+    }
+
+    #[test]
+    fn bucket_counts_merge_matches_monolithic() {
+        // Two "segments" holding disjoint items of one logical catalog.
+        let mut seg_a = RangeIndex::new();
+        seg_a.insert(key(0, 63), 0usize);
+        seg_a.insert(key(0, 127), 1);
+        let mut seg_b = RangeIndex::new();
+        seg_b.insert(key(0, 63), 0usize); // same bucket, different segment
+        seg_b.insert(key(224, 255), 1);
+
+        let mut mono = RangeIndex::new();
+        mono.insert(key(0, 63), 0usize);
+        mono.insert(key(0, 127), 1);
+        mono.insert(key(0, 63), 2);
+        mono.insert(key(224, 255), 3);
+
+        let mut merged = BucketCounts::new();
+        merged.add_index(&seg_a, |_| true);
+        merged.add_index(&seg_b, |_| true);
+        assert_eq!(merged.items(), 4);
+        assert_eq!(merged.stats(), mono.stats());
+        assert_eq!(merged.render_tree(), mono.render_tree());
+    }
+
+    #[test]
+    fn bucket_counts_filter_drops_tombstoned_items() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(0, 63), 1u64);
+        idx.insert(key(0, 63), 2);
+        idx.insert(key(128, 191), 2);
+        let mut counts = BucketCounts::new();
+        counts.add_index(&idx, |&v| v != 2);
+        let s = counts.stats();
+        assert_eq!(s.items, 1);
+        assert_eq!(s.buckets, 1);
+        assert!(counts.render_tree().contains("0-63 [1]"));
+        assert!(counts.render_tree().contains("128-191 [0]"));
+    }
+
+    #[test]
+    fn for_each_item_visits_in_bucket_order() {
+        let mut idx = RangeIndex::new();
+        idx.insert(key(128, 191), "late");
+        idx.insert(key(0, 31), "early");
+        let mut seen = Vec::new();
+        idx.for_each_item(|k, &v| seen.push((k, v)));
+        assert_eq!(seen, vec![(key(0, 31), "early"), (key(128, 191), "late")]);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod bucket;
 pub mod paper;
 pub mod tree;
 
-pub use bucket::{IndexStats, RangeIndex};
+pub use bucket::{BucketCounts, IndexStats, RangeIndex};
 pub use paper::{paper_range, RangeKey, FIRST_LEVEL_THRESHOLD, LOWER_LEVEL_THRESHOLD};
 pub use tree::{RangeTree, RangeTreeConfig};

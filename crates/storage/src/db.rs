@@ -1,12 +1,19 @@
 //! [`CbvrDatabase`] — the public storage facade.
 //!
-//! Owns the pager plus three B+-trees:
+//! Owns the pager plus four B+-trees:
 //!
 //! - `VIDEO_STORE` primary (v_id → row),
 //! - `KEY_FRAMES` primary (i_id → row),
 //! - the `(v_id, i_id)` secondary index (composite key → nothing), which
 //!   serves the pipeline's "all key frames of video X" lookups without a
-//!   full scan.
+//!   full scan,
+//! - the catalog **manifest** (min `i_id` → segment record): one record
+//!   per sealed catalog segment, appended inside the same atomic batch
+//!   as the segment's rows. A crash mid-ingest therefore recovers to the
+//!   last *published* snapshot — the manifest and the rows it covers
+//!   commit or roll back together. The tree is created lazily, so
+//!   pre-manifest databases open unchanged and report every row as one
+//!   implicit tail segment.
 //!
 //! Every public mutator is atomic: it commits on success and rolls back
 //! on failure (autocommit). [`CbvrDatabase::run_batch`] groups many
@@ -32,12 +39,27 @@ use std::path::Path;
 const TAG_INLINE: u8 = 0;
 const TAG_SPILLED: u8 = 1;
 
+/// One sealed-segment record of the catalog manifest: the contiguous
+/// `KEY_FRAMES` id range one ingest batch (or one compaction) sealed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ManifestSegment {
+    /// Smallest `i_id` in the segment (also the manifest key).
+    pub min_i_id: u64,
+    /// Largest `i_id` in the segment.
+    pub max_i_id: u64,
+    /// Rows the segment held when sealed.
+    pub rows: u64,
+}
+
 /// The CBVR database over any backend.
 pub struct CbvrDatabase<B: Backend> {
     pager: Pager<B>,
     video_store: BTree,
     key_frames: BTree,
     kf_by_video: BTree,
+    /// Catalog manifest; `None` until the first segment record is
+    /// written (pre-manifest databases never allocate the tree).
+    manifest: Option<BTree>,
     next_v_id: u64,
     next_i_id: u64,
     autocommit: bool,
@@ -91,6 +113,7 @@ impl<B: Backend> CbvrDatabase<B> {
                 video_store,
                 key_frames,
                 kf_by_video,
+                manifest: None,
                 next_v_id: 1,
                 next_i_id: 1,
                 autocommit: true,
@@ -101,6 +124,7 @@ impl<B: Backend> CbvrDatabase<B> {
         } else {
             let key_root = u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes"));
             let sec_root = u32::from_le_bytes(meta[8..12].try_into().expect("4 bytes"));
+            let manifest_root = u32::from_le_bytes(meta[12..16].try_into().expect("4 bytes"));
             let next_v_id = u64::from_le_bytes(meta[16..24].try_into().expect("8 bytes"));
             let next_i_id = u64::from_le_bytes(meta[24..32].try_into().expect("8 bytes"));
             CbvrDatabase {
@@ -108,6 +132,7 @@ impl<B: Backend> CbvrDatabase<B> {
                 video_store: BTree::load(video_root),
                 key_frames: BTree::load(key_root),
                 kf_by_video: BTree::load(sec_root),
+                manifest: (manifest_root != 0).then(|| BTree::load(manifest_root)),
                 next_v_id,
                 next_i_id,
                 autocommit: true,
@@ -122,6 +147,8 @@ impl<B: Backend> CbvrDatabase<B> {
         meta[0..4].copy_from_slice(&self.video_store.root().to_le_bytes());
         meta[4..8].copy_from_slice(&self.key_frames.root().to_le_bytes());
         meta[8..12].copy_from_slice(&self.kf_by_video.root().to_le_bytes());
+        meta[12..16]
+            .copy_from_slice(&self.manifest.as_ref().map_or(0, BTree::root).to_le_bytes());
         meta[16..24].copy_from_slice(&self.next_v_id.to_le_bytes());
         meta[24..32].copy_from_slice(&self.next_i_id.to_le_bytes());
         self.pager.set_user_meta(meta);
@@ -135,6 +162,8 @@ impl<B: Backend> CbvrDatabase<B> {
             BTree::load(u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes")) as PageId);
         self.kf_by_video =
             BTree::load(u32::from_le_bytes(meta[8..12].try_into().expect("4 bytes")) as PageId);
+        let manifest_root = u32::from_le_bytes(meta[12..16].try_into().expect("4 bytes"));
+        self.manifest = (manifest_root != 0).then(|| BTree::load(manifest_root as PageId));
         self.next_v_id = u64::from_le_bytes(meta[16..24].try_into().expect("8 bytes"));
         self.next_i_id = u64::from_le_bytes(meta[24..32].try_into().expect("8 bytes"));
     }
@@ -453,6 +482,102 @@ impl<B: Backend> CbvrDatabase<B> {
         self.key_frames.len(&mut self.pager)
     }
 
+    // ---- catalog manifest ---------------------------------------------
+
+    fn encode_manifest_value(segment: &ManifestSegment) -> [u8; 16] {
+        let mut value = [0u8; 16];
+        value[0..8].copy_from_slice(&segment.max_i_id.to_le_bytes());
+        value[8..16].copy_from_slice(&segment.rows.to_le_bytes());
+        value
+    }
+
+    /// The manifest tree, created on first use (legacy databases never
+    /// wrote one; the zero root in the meta block marks its absence).
+    fn manifest_tree(&mut self) -> Result<BTree> {
+        if let Some(tree) = self.manifest {
+            return Ok(tree);
+        }
+        let tree = BTree::create(&mut self.pager)?;
+        self.manifest = Some(tree);
+        Ok(tree)
+    }
+
+    /// Record one sealed catalog segment. Ingestion calls this inside
+    /// the same [`CbvrDatabase::run_batch`] that inserts the segment's
+    /// rows, so the manifest and the rows commit atomically: a crash
+    /// mid-ingest rolls both back to the last published snapshot.
+    pub fn append_manifest_segment(&mut self, segment: ManifestSegment) -> Result<()> {
+        let op = |db: &mut Self| {
+            if segment.min_i_id > segment.max_i_id {
+                return Err(StorageError::InvalidState(format!(
+                    "manifest segment range inverted: {}..{}",
+                    segment.min_i_id, segment.max_i_id
+                )));
+            }
+            let mut tree = db.manifest_tree()?;
+            tree.upsert(&mut db.pager, segment.min_i_id, &Self::encode_manifest_value(&segment))?;
+            db.manifest = Some(tree);
+            Ok(())
+        };
+        let result = op(self);
+        self.finish_op(result)
+    }
+
+    /// Every manifest segment, ascending by `min_i_id` — which is also
+    /// catalog order, because ids are assigned monotonically.
+    pub fn list_manifest(&mut self) -> Result<Vec<ManifestSegment>> {
+        let Some(tree) = self.manifest else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        let mut bad = false;
+        tree.scan_from(&mut self.pager, 0, |k, v| {
+            if v.len() != 16 {
+                bad = true;
+                return false;
+            }
+            out.push(ManifestSegment {
+                min_i_id: k,
+                max_i_id: u64::from_le_bytes(v[0..8].try_into().expect("8 bytes")),
+                rows: u64::from_le_bytes(v[8..16].try_into().expect("8 bytes")),
+            });
+            true
+        })?;
+        if bad {
+            return Err(StorageError::Corruption("bad manifest record".into()));
+        }
+        Ok(out)
+    }
+
+    /// Atomically replace the whole manifest (the compaction publish:
+    /// many small segment records become one merged record).
+    pub fn replace_manifest(&mut self, segments: &[ManifestSegment]) -> Result<()> {
+        let old = self.list_manifest()?;
+        let op = |db: &mut Self| {
+            let mut tree = db.manifest_tree()?;
+            for segment in &old {
+                tree.delete(&mut db.pager, segment.min_i_id)?;
+            }
+            for segment in segments {
+                if segment.min_i_id > segment.max_i_id {
+                    return Err(StorageError::InvalidState(format!(
+                        "manifest segment range inverted: {}..{}",
+                        segment.min_i_id, segment.max_i_id
+                    )));
+                }
+                tree.upsert(
+                    &mut db.pager,
+                    segment.min_i_id,
+                    &Self::encode_manifest_value(segment),
+                )?;
+            }
+            db.manifest = Some(tree);
+            Ok(())
+        };
+        let result = op(self);
+        self.finish_op(result)
+    }
+
     /// Total pages in the data file (diagnostics).
     pub fn page_count(&self) -> u32 {
         self.pager.page_count()
@@ -470,6 +595,7 @@ impl<B: Backend> CbvrDatabase<B> {
             pages: self.pager.page_count(),
             videos: self.video_count()?,
             key_frames: self.key_frame_count()?,
+            manifest_segments: self.list_manifest()?.len(),
             next_v_id: self.next_v_id,
             next_i_id: self.next_i_id,
         })
@@ -521,6 +647,7 @@ impl<B: Backend> CbvrDatabase<B> {
 
         fresh.autocommit = false;
         let copy = |src: &mut Self, dst: &mut CbvrDatabase<B2>| -> Result<()> {
+            let mut kf_span: Option<(u64, u64, u64)> = None;
             for (v_id, _, _) in &videos {
                 let full = src.get_video(*v_id)?;
                 let video_bytes = src.read_video_bytes(&full.row)?;
@@ -530,7 +657,16 @@ impl<B: Backend> CbvrDatabase<B> {
                     let row = src.get_key_frame(i_id)?;
                     let image = src.read_image_bytes(&row)?;
                     dst.insert_key_frame_preserving_id(&row, &image)?;
+                    kf_span = Some(match kf_span {
+                        None => (i_id, i_id, 1),
+                        Some((min, max, rows)) => (min.min(i_id), max.max(i_id), rows + 1),
+                    });
                 }
+            }
+            // Vacuum compacts the manifest too: one segment spanning all
+            // surviving rows (dead ranges would otherwise linger).
+            if let Some((min_i_id, max_i_id, rows)) = kf_span {
+                dst.replace_manifest(&[ManifestSegment { min_i_id, max_i_id, rows }])?;
             }
             dst.next_v_id = next_v_id;
             dst.next_i_id = next_i_id;
@@ -558,6 +694,9 @@ pub struct DbStats {
     pub videos: usize,
     /// Live `KEY_FRAMES` rows.
     pub key_frames: usize,
+    /// Sealed catalog segments recorded in the manifest (0 on
+    /// pre-manifest databases: every row is one implicit tail segment).
+    pub manifest_segments: usize,
     /// Next video id to be assigned.
     pub next_v_id: u64,
     /// Next key-frame id to be assigned.
@@ -762,6 +901,68 @@ mod tests {
             let full = db.get_video(*v_id).unwrap();
             db.read_video_bytes(&full.row).unwrap();
         }
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_survives_reopen() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        {
+            let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+            assert!(db.list_manifest().unwrap().is_empty(), "fresh db has no manifest");
+            db.append_manifest_segment(ManifestSegment { min_i_id: 1, max_i_id: 4, rows: 4 })
+                .unwrap();
+            db.append_manifest_segment(ManifestSegment { min_i_id: 5, max_i_id: 9, rows: 5 })
+                .unwrap();
+        }
+        let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
+        let segments = db.list_manifest().unwrap();
+        assert_eq!(
+            segments,
+            vec![
+                ManifestSegment { min_i_id: 1, max_i_id: 4, rows: 4 },
+                ManifestSegment { min_i_id: 5, max_i_id: 9, rows: 5 },
+            ]
+        );
+        assert_eq!(db.stats().unwrap().manifest_segments, 2);
+    }
+
+    #[test]
+    fn replace_manifest_swaps_whole_set() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        db.append_manifest_segment(ManifestSegment { min_i_id: 1, max_i_id: 3, rows: 3 }).unwrap();
+        db.append_manifest_segment(ManifestSegment { min_i_id: 4, max_i_id: 6, rows: 3 }).unwrap();
+        db.replace_manifest(&[ManifestSegment { min_i_id: 1, max_i_id: 6, rows: 6 }]).unwrap();
+        assert_eq!(
+            db.list_manifest().unwrap(),
+            vec![ManifestSegment { min_i_id: 1, max_i_id: 6, rows: 6 }]
+        );
+        // Replacing with the empty set clears the manifest entirely.
+        db.replace_manifest(&[]).unwrap();
+        assert!(db.list_manifest().unwrap().is_empty());
+    }
+
+    #[test]
+    fn inverted_manifest_range_rejected_without_side_effects() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let bad = ManifestSegment { min_i_id: 9, max_i_id: 2, rows: 1 };
+        assert!(db.append_manifest_segment(bad).is_err());
+        assert!(db.replace_manifest(&[bad]).is_err());
+        assert!(db.list_manifest().unwrap().is_empty());
+    }
+
+    #[test]
+    fn manifest_rolls_back_with_failed_batch() {
+        let mut db = CbvrDatabase::in_memory().unwrap();
+        let result: Result<()> = db.run_batch(|db| {
+            db.append_manifest_segment(ManifestSegment { min_i_id: 1, max_i_id: 2, rows: 2 })?;
+            Err(StorageError::InvalidState("user abort".into()))
+        });
+        assert!(result.is_err());
+        assert!(db.list_manifest().unwrap().is_empty(), "manifest record must roll back");
+        // The tree can still be created and used after the rollback.
+        db.append_manifest_segment(ManifestSegment { min_i_id: 1, max_i_id: 2, rows: 2 }).unwrap();
+        assert_eq!(db.list_manifest().unwrap().len(), 1);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod telemetry;
 pub mod wal;
 
 pub use backend::{Backend, FileBackend, MemBackend};
-pub use db::CbvrDatabase;
+pub use db::{CbvrDatabase, DbStats, ManifestSegment};
 pub use error::{Result, StorageError};
 pub use tables::{KeyFrameRecord, KeyFrameRow, VideoRecord, VideoRow};
 pub use telemetry::StorageTelemetry;

@@ -11,9 +11,14 @@ use std::sync::Mutex;
 use std::sync::Arc;
 
 /// Shared application state: the database plus the loaded query engine.
+///
+/// The engine is *not* behind a lock: it serves queries from an
+/// atomically swapped catalog snapshot, so search/query handlers run
+/// lock-free and concurrent ingest or reload never blocks them. Only the
+/// raw database handle (page cache, BLOB reads) still needs the mutex.
 pub struct AppState<B: Backend> {
     db: Mutex<CbvrDatabase<B>>,
-    engine: Mutex<QueryEngine>,
+    engine: QueryEngine,
     telemetry: Arc<Registry>,
 }
 
@@ -66,11 +71,7 @@ impl<B: Backend> AppState<B> {
     ) -> Result<Arc<AppState<B>>, cbvr_core::CoreError> {
         let mut engine = QueryEngine::from_database(&mut db)?;
         engine.set_telemetry(registry.clone());
-        Ok(Arc::new(AppState {
-            db: Mutex::new(db),
-            engine: Mutex::new(engine),
-            telemetry: registry,
-        }))
+        Ok(Arc::new(AppState { db: Mutex::new(db), engine, telemetry: registry }))
     }
 
     /// The registry this state records requests into.
@@ -78,12 +79,29 @@ impl<B: Backend> AppState<B> {
         &self.telemetry
     }
 
-    /// Reload the engine after external database changes.
+    /// Take the database lock, turning poisoning into an HTTP 500 for
+    /// this request instead of propagating the panic and killing the
+    /// worker thread. The engine is not behind this lock, so query and
+    /// search handlers keep serving even after such a failure.
+    fn lock_db(&self) -> Result<std::sync::MutexGuard<'_, CbvrDatabase<B>>, Response> {
+        self.db.lock().map_err(|_| {
+            Response::text(
+                StatusCode::InternalServerError,
+                "database lock poisoned by a previous panicking request",
+            )
+        })
+    }
+
+    /// Reload the engine after external database changes. The database
+    /// scan happens under the db lock, but the engine itself is updated
+    /// by publishing a new catalog snapshot — in-flight queries finish
+    /// on the old one.
     pub fn reload_engine(&self) -> Result<(), cbvr_core::CoreError> {
-        let mut db = self.db.lock().expect("mutex poisoned");
-        let mut engine = QueryEngine::from_database(&mut db)?;
-        engine.set_telemetry(self.telemetry.clone());
-        *self.engine.lock().expect("mutex poisoned") = engine;
+        let mut db = self
+            .db
+            .lock()
+            .map_err(|_| cbvr_core::CoreError::Config("database lock poisoned".to_string()))?;
+        self.engine.reload_from_database(&mut db)?;
         Ok(())
     }
 
@@ -132,8 +150,12 @@ impl<B: Backend> AppState<B> {
     /// counter/histogram plus the storage engine's `storage.*` counters,
     /// one `name value` pair per line, sorted.
     fn metrics(&self) -> Response {
+        let db = match self.lock_db() {
+            Ok(db) => db,
+            Err(r) => return r,
+        };
         let mut lines = self.telemetry.render_lines();
-        lines.extend(self.db.lock().expect("mutex poisoned").telemetry().render_lines());
+        lines.extend(db.telemetry().render_lines());
         lines.sort();
         let mut out = String::new();
         for line in &lines {
@@ -144,7 +166,10 @@ impl<B: Backend> AppState<B> {
     }
 
     fn index(&self) -> Response {
-        let mut db = self.db.lock().expect("mutex poisoned");
+        let mut db = match self.lock_db() {
+            Ok(db) => db,
+            Err(r) => return r,
+        };
         let videos = match db.list_videos() {
             Ok(v) => v,
             Err(e) => return Response::text(StatusCode::InternalServerError, e.to_string()),
@@ -169,7 +194,10 @@ impl<B: Backend> AppState<B> {
         let Some(id) = request.param_u64("id") else {
             return Response::text(StatusCode::BadRequest, "missing ?id=N");
         };
-        let mut db = self.db.lock().expect("mutex poisoned");
+        let mut db = match self.lock_db() {
+            Ok(db) => db,
+            Err(r) => return r,
+        };
         let full = match db.get_video(id) {
             Ok(v) => v,
             Err(e) => return Response::text(StatusCode::NotFound, e.to_string()),
@@ -210,7 +238,10 @@ impl<B: Backend> AppState<B> {
         let Some(id) = request.param_u64("id") else {
             return Response::text(StatusCode::BadRequest, "missing ?id=N");
         };
-        let mut db = self.db.lock().expect("mutex poisoned");
+        let mut db = match self.lock_db() {
+            Ok(db) => db,
+            Err(r) => return r,
+        };
         let row = match db.get_key_frame(id) {
             Ok(r) => r,
             Err(e) => return Response::text(StatusCode::NotFound, e.to_string()),
@@ -227,8 +258,7 @@ impl<B: Backend> AppState<B> {
 
     fn search(&self, request: &Request) -> Response {
         let needle = request.param("name").unwrap_or("");
-        let engine = self.engine.lock().expect("mutex poisoned");
-        let hits = engine.find_videos_by_name(needle);
+        let hits = self.engine.find_videos_by_name(needle);
         let mut page = HtmlPage::new(&format!("search: '{needle}'"));
         if hits.is_empty() {
             page.push("<p>no matches.</p>");
@@ -246,16 +276,22 @@ impl<B: Backend> AppState<B> {
     }
 
     fn stats(&self) -> Response {
-        let mut db = self.db.lock().expect("mutex poisoned");
+        let mut db = match self.lock_db() {
+            Ok(db) => db,
+            Err(r) => return r,
+        };
         match db.stats() {
             Ok(s) => Response::text(
                 StatusCode::Ok,
                 format!(
-                    "pages: {}\nvideos: {}\nkey frames: {}\ncatalog entries: {}",
+                    "pages: {}\nvideos: {}\nkey frames: {}\ncatalog entries: {}\n\
+                     segments: {}\ntombstones: {}",
                     s.pages,
                     s.videos,
                     s.key_frames,
-                    self.engine.lock().expect("mutex poisoned").len()
+                    self.engine.len(),
+                    self.engine.segment_count(),
+                    self.engine.tombstone_count(),
                 ),
             ),
             Err(e) => Response::text(StatusCode::InternalServerError, e.to_string()),
@@ -285,7 +321,7 @@ impl<B: Backend> AppState<B> {
         };
         let use_index = request.param("no_index").is_none();
         let abandon = request.param("no_abandon").is_none();
-        let engine = self.engine.lock().expect("mutex poisoned");
+        let engine = &self.engine;
         let results = engine.query_frame(
             &frame,
             &QueryOptions { k, weights, use_index, abandon, ..Default::default() },
@@ -299,7 +335,7 @@ impl<B: Backend> AppState<B> {
                         "{{\"i_id\":{},\"v_id\":{},\"video\":\"{}\",\"score\":{:.6}}}",
                         m.i_id,
                         m.v_id,
-                        json_escape(engine.video_name(m.v_id).unwrap_or("?")),
+                        json_escape(&engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string())),
                         m.score
                     )
                 })
@@ -315,7 +351,7 @@ impl<B: Backend> AppState<B> {
                  <td><img src=\"/keyframe?id={}\" width=\"120\"></td><td>{:.4}</td></tr>",
                 rank + 1,
                 m.v_id,
-                html_escape(engine.video_name(m.v_id).unwrap_or("?")),
+                html_escape(&engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string())),
                 m.i_id,
                 m.score
             ));
@@ -497,7 +533,7 @@ mod tests {
         let app = state();
         assert!(body_str(&app.handle(&get("/stats"))).contains("videos: 2"));
         {
-            let mut db = app.db.lock().expect("mutex poisoned");
+            let mut db = app.db.lock().unwrap();
             let generator =
                 VideoGenerator::new(GeneratorConfig { width: 32, height: 24, ..Default::default() })
                     .unwrap();
@@ -507,5 +543,34 @@ mod tests {
         app.reload_engine().unwrap();
         let html = body_str(&app.handle(&get("/")));
         assert!(html.contains("late"), "{html}");
+    }
+
+    #[test]
+    fn poisoned_db_lock_yields_500_but_queries_still_serve() {
+        let app = state();
+        // Grab a self-match query image while the db is still healthy.
+        let kf = app.handle(&get("/keyframe?id=1"));
+        assert_eq!(kf.status, StatusCode::Ok);
+
+        // Poison the db mutex the way a panicking handler would.
+        let poisoner = Arc::clone(&app);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.db.lock().unwrap();
+            panic!("poison the db lock");
+        })
+        .join();
+        assert!(app.db.lock().is_err(), "lock should be poisoned");
+
+        // db-backed routes answer 500 instead of killing the thread...
+        for path in ["/", "/video?id=1", "/keyframe?id=1", "/stats", "/metrics"] {
+            let r = app.handle(&get(path));
+            assert_eq!(r.status, StatusCode::InternalServerError, "{path}");
+            assert!(body_str(&r).contains("poisoned"), "{path}");
+        }
+        // ...while the lock-free engine routes keep serving.
+        let html = body_str(&app.handle(&get("/search?name=sports")));
+        assert!(html.contains("sports_0"), "{html}");
+        let r = app.handle(&post("/query?k=2", kf.body));
+        assert_eq!(r.status, StatusCode::Ok, "{}", body_str(&r));
     }
 }

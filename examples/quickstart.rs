@@ -42,13 +42,13 @@ fn main() {
         println!(
             "  {}. {:<18} (key frame #{}, similarity {:.3})",
             rank + 1,
-            engine.video_name(m.v_id).unwrap_or("?"),
+            engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string()),
             m.i_id,
             m.score
         );
     }
     assert!(
-        engine.video_name(results[0].v_id).unwrap_or("").starts_with("cartoon"),
+        engine.video_name(results[0].v_id).unwrap_or_default().starts_with("cartoon"),
         "the best match should be a cartoon"
     );
     println!("\nthe top match is a cartoon clip, as expected.");

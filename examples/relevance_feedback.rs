@@ -52,7 +52,7 @@ fn main() {
     let round1 = engine.query_frame(frame, &options);
     let hits1 = round1
         .iter()
-        .filter(|m| category_of(engine.video_name(m.v_id).unwrap()) == "movie")
+        .filter(|m| category_of(&engine.video_name(m.v_id).unwrap()) == "movie")
         .count();
     println!("round 1 (uniform weights): {hits1}/10 relevant");
     for m in round1.iter().take(10) {
@@ -64,7 +64,7 @@ fn main() {
     let marked: Vec<(bool, FeatureSet)> = round1
         .iter()
         .map(|m| {
-            let relevant = category_of(engine.video_name(m.v_id).unwrap()) == "movie";
+            let relevant = category_of(&engine.video_name(m.v_id).unwrap()) == "movie";
             // Re-extract the marked key frame's features from the stored row.
             let i = (0..engine.len()).find(|&i| engine.entry(i).i_id == m.i_id).unwrap();
             (relevant, engine.entry(i).features.clone())
@@ -93,7 +93,7 @@ fn main() {
     );
     let hits2 = round2
         .iter()
-        .filter(|m| category_of(engine.video_name(m.v_id).unwrap()) == "movie")
+        .filter(|m| category_of(&engine.video_name(m.v_id).unwrap()) == "movie")
         .count();
     println!("\nround 2 (adapted weights): {hits2}/10 relevant");
     for m in round2.iter().take(10) {

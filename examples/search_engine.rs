@@ -37,7 +37,7 @@ fn main() {
         println!(
             "  {}. {:<16} similarity {:.3}",
             rank + 1,
-            engine.video_name(m.v_id).unwrap_or("?"),
+            engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string()),
             m.score
         );
     }
@@ -53,7 +53,7 @@ fn main() {
         println!(
             "  {}. {:<16} DTW distance {:.4}",
             rank + 1,
-            engine.video_name(m.v_id).unwrap_or("?"),
+            engine.video_name(m.v_id).unwrap_or_else(|| "?".to_string()),
             m.distance
         );
     }
@@ -76,7 +76,7 @@ fn main() {
         )[0];
         println!(
             "  {label}: best = {} (similarity {:.3})",
-            engine.video_name(top.v_id).unwrap_or("?"),
+            engine.video_name(top.v_id).unwrap_or_else(|| "?".to_string()),
             top.score
         );
     }

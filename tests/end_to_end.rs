@@ -143,6 +143,6 @@ fn metadata_and_content_queries_agree_on_names() {
     let by_name = engine.find_videos_by_name("LECTURE");
     assert_eq!(by_name.len(), 2);
     for (v_id, name) in by_name {
-        assert_eq!(engine.video_name(v_id), Some(name.as_str()));
+        assert_eq!(engine.video_name(v_id).as_deref(), Some(name.as_str()));
     }
 }
