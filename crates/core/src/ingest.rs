@@ -127,7 +127,23 @@ pub fn extract_feature_sets_parallel(frames: &[&RgbImage], threads: usize) -> Ve
 
 /// Ingest one video under `name`. The whole operation is one atomic
 /// batch: a failure leaves the database exactly as it was.
+///
+/// Every failed ingest — bad input, encode error, or a storage error
+/// surfaced by the commit — bumps `ingest.failures`.
 pub fn ingest_video<B: Backend>(
+    db: &mut CbvrDatabase<B>,
+    name: &str,
+    video: &Video,
+    config: &IngestConfig,
+) -> Result<IngestReport> {
+    let result = ingest_video_impl(db, name, video, config);
+    if result.is_err() {
+        Registry::global().counter("ingest.failures").inc();
+    }
+    result
+}
+
+fn ingest_video_impl<B: Backend>(
     db: &mut CbvrDatabase<B>,
     name: &str,
     video: &Video,
@@ -282,8 +298,11 @@ mod tests {
     fn empty_name_rejected_without_side_effects() {
         let mut db = CbvrDatabase::in_memory().unwrap();
         let video = small_clip(2);
+        let failures = Registry::global().counter("ingest.failures");
+        let before = failures.get();
         assert!(ingest_video(&mut db, "", &video, &IngestConfig::default()).is_err());
         assert_eq!(db.video_count().unwrap(), 0);
+        assert!(failures.get() > before, "failed ingest must bump ingest.failures");
     }
 
     #[test]

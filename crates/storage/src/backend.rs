@@ -165,9 +165,16 @@ impl Default for MemBackend {
     }
 }
 
+/// A poisoned buffer mutex means another handle panicked mid-write; treat
+/// it as an I/O failure instead of propagating the panic, so the sweep
+/// can observe it like any other fault.
+fn lock_poisoned() -> StorageError {
+    StorageError::Io(std::io::Error::other("mem backend mutex poisoned"))
+}
+
 impl Backend for MemBackend {
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        let data = self.data.lock().expect("mutex poisoned");
+        let data = self.data.lock().map_err(|_| lock_poisoned())?;
         let start = offset as usize;
         let end = start + buf.len();
         if end > data.len() {
@@ -182,7 +189,7 @@ impl Backend for MemBackend {
 
     fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<()> {
         self.faults.consume()?;
-        let mut data = self.data.lock().expect("mutex poisoned");
+        let mut data = self.data.lock().map_err(|_| lock_poisoned())?;
         let start = offset as usize;
         let end = start + buf.len();
         if end > data.len() {
@@ -193,12 +200,12 @@ impl Backend for MemBackend {
     }
 
     fn len(&mut self) -> Result<u64> {
-        Ok(self.data.lock().expect("mutex poisoned").len() as u64)
+        Ok(self.data.lock().map_err(|_| lock_poisoned())?.len() as u64)
     }
 
     fn truncate(&mut self, len: u64) -> Result<()> {
         self.faults.consume()?;
-        let mut data = self.data.lock().expect("mutex poisoned");
+        let mut data = self.data.lock().map_err(|_| lock_poisoned())?;
         data.truncate(len as usize);
         Ok(())
     }

@@ -39,6 +39,28 @@ use std::path::Path;
 const TAG_INLINE: u8 = 0;
 const TAG_SPILLED: u8 = 1;
 
+/// Little-endian `u32` from a checked slice: stored bytes are parsed all
+/// over this module, and a truncated buffer must surface as corruption,
+/// never a panic.
+fn le_u32_at(buf: &[u8], at: usize) -> Result<u32> {
+    let Some(bytes) = buf.get(at..at + 4) else {
+        return Err(StorageError::Corruption(format!("stored value truncated at byte {at}")));
+    };
+    let mut b = [0u8; 4];
+    b.copy_from_slice(bytes);
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Little-endian `u64`, same contract as [`le_u32_at`].
+fn le_u64_at(buf: &[u8], at: usize) -> Result<u64> {
+    let Some(bytes) = buf.get(at..at + 8) else {
+        return Err(StorageError::Corruption(format!("stored value truncated at byte {at}")));
+    };
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    Ok(u64::from_le_bytes(b))
+}
+
 /// One sealed-segment record of the catalog manifest: the contiguous
 /// `KEY_FRAMES` id range one ingest batch (or one compaction) sealed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,7 +124,7 @@ impl<B: Backend> CbvrDatabase<B> {
     pub fn open(data: B, wal: B) -> Result<CbvrDatabase<B>> {
         let mut pager = Pager::open(data, wal, DEFAULT_CACHE_PAGES)?;
         let meta = *pager.user_meta();
-        let video_root = u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes"));
+        let video_root = le_u32_at(&meta, 0)?;
         let mut db = if video_root == 0 {
             // Fresh database: create the trees and persist the catalog.
             let video_store = BTree::create(&mut pager)?;
@@ -122,11 +144,11 @@ impl<B: Backend> CbvrDatabase<B> {
             db.pager.commit()?;
             db
         } else {
-            let key_root = u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes"));
-            let sec_root = u32::from_le_bytes(meta[8..12].try_into().expect("4 bytes"));
-            let manifest_root = u32::from_le_bytes(meta[12..16].try_into().expect("4 bytes"));
-            let next_v_id = u64::from_le_bytes(meta[16..24].try_into().expect("8 bytes"));
-            let next_i_id = u64::from_le_bytes(meta[24..32].try_into().expect("8 bytes"));
+            let key_root = le_u32_at(&meta, 4)?;
+            let sec_root = le_u32_at(&meta, 8)?;
+            let manifest_root = le_u32_at(&meta, 12)?;
+            let next_v_id = le_u64_at(&meta, 16)?;
+            let next_i_id = le_u64_at(&meta, 24)?;
             CbvrDatabase {
                 pager,
                 video_store: BTree::load(video_root),
@@ -155,17 +177,17 @@ impl<B: Backend> CbvrDatabase<B> {
     }
 
     fn reload_meta(&mut self) {
+        // The user-meta area is a fixed 64-byte array, so these reads
+        // cannot fail; fall back to an empty root only if the layout
+        // ever shrinks below the offsets used here.
         let meta = *self.pager.user_meta();
-        self.video_store =
-            BTree::load(u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes")) as PageId);
-        self.key_frames =
-            BTree::load(u32::from_le_bytes(meta[4..8].try_into().expect("4 bytes")) as PageId);
-        self.kf_by_video =
-            BTree::load(u32::from_le_bytes(meta[8..12].try_into().expect("4 bytes")) as PageId);
-        let manifest_root = u32::from_le_bytes(meta[12..16].try_into().expect("4 bytes"));
+        self.video_store = BTree::load(le_u32_at(&meta, 0).unwrap_or(0) as PageId);
+        self.key_frames = BTree::load(le_u32_at(&meta, 4).unwrap_or(0) as PageId);
+        self.kf_by_video = BTree::load(le_u32_at(&meta, 8).unwrap_or(0) as PageId);
+        let manifest_root = le_u32_at(&meta, 12).unwrap_or(0);
         self.manifest = (manifest_root != 0).then(|| BTree::load(manifest_root as PageId));
-        self.next_v_id = u64::from_le_bytes(meta[16..24].try_into().expect("8 bytes"));
-        self.next_i_id = u64::from_le_bytes(meta[24..32].try_into().expect("8 bytes"));
+        self.next_v_id = le_u64_at(&meta, 16).unwrap_or(0);
+        self.next_i_id = le_u64_at(&meta, 24).unwrap_or(0);
     }
 
     fn finish_op<T>(&mut self, result: Result<T>) -> Result<T> {
@@ -175,8 +197,18 @@ impl<B: Backend> CbvrDatabase<B> {
         match result {
             Ok(v) => {
                 self.save_meta();
-                self.pager.commit()?;
-                Ok(v)
+                match self.pager.commit() {
+                    Ok(()) => Ok(v),
+                    Err(e) => {
+                        // The commit never reached the WAL: roll the
+                        // staged writes back so the next operation builds
+                        // on the committed state, not on a half-applied
+                        // one that would leak into its commit.
+                        self.pager.abort()?;
+                        self.reload_meta();
+                        Err(e)
+                    }
+                }
             }
             Err(e) => {
                 self.pager.abort()?;
@@ -184,6 +216,20 @@ impl<B: Backend> CbvrDatabase<B> {
                 Err(e)
             }
         }
+    }
+
+    /// True while a durable commit is still awaiting propagation to the
+    /// data file (see [`crate::pager::Pager::wal_pending`]): reads and
+    /// further commits keep working from the WAL + cache, and
+    /// [`CbvrDatabase::try_heal`] retries the replay.
+    pub fn is_degraded(&self) -> bool {
+        self.pager.wal_pending()
+    }
+
+    /// Retry propagating committed-but-unpropagated pages into the data
+    /// file. No-op when healthy.
+    pub fn try_heal(&mut self) -> Result<()> {
+        self.pager.checkpoint()
     }
 
     /// Run several mutations as one atomic unit: one commit on success,
@@ -229,8 +275,8 @@ impl<B: Backend> CbvrDatabase<B> {
                 if value.len() != 13 {
                     return Err(StorageError::Corruption("bad spilled row ref".into()));
                 }
-                let head = u32::from_le_bytes(value[1..5].try_into().expect("4 bytes"));
-                let len = u64::from_le_bytes(value[5..13].try_into().expect("8 bytes"));
+                let head = le_u32_at(value, 1)?;
+                let len = le_u64_at(value, 5)?;
                 read_blob(&mut self.pager, BlobRef { head, len })
             }
             _ => Err(StorageError::Corruption("empty row value".into())),
@@ -239,8 +285,8 @@ impl<B: Backend> CbvrDatabase<B> {
 
     fn free_row_value(&mut self, value: &[u8]) -> Result<()> {
         if value.first() == Some(&TAG_SPILLED) && value.len() == 13 {
-            let head = u32::from_le_bytes(value[1..5].try_into().expect("4 bytes"));
-            let len = u64::from_le_bytes(value[5..13].try_into().expect("8 bytes"));
+            let head = le_u32_at(value, 1)?;
+            let len = le_u64_at(value, 5)?;
             free_blob(&mut self.pager, BlobRef { head, len })?;
         }
         Ok(())
@@ -878,25 +924,29 @@ mod tests {
     }
 
     #[test]
-    fn crash_mid_batch_loses_whole_batch() {
+    fn data_fault_mid_batch_commits_degraded() {
         let (mut db, faults, data, wal) = CbvrDatabase::in_memory_with_faults().unwrap();
         db.insert_video(&video_record("safe", 100)).unwrap();
-        // Crash during the commit's data-file propagation.
+        // The data file dies during the commit's propagation phase. The
+        // WAL record is already durable, so the batch IS committed: the
+        // database degrades instead of failing the commit.
         let result: Result<u64> = db.run_batch(|db| {
             let v = db.insert_video(&video_record("doomed", 30_000))?;
             faults.fail_after_writes(0);
             Ok(v)
         });
-        assert!(result.is_err(), "commit must fail");
+        assert!(result.is_ok(), "WAL-durable commit must succeed");
+        assert!(db.is_degraded(), "data-file fault leaves the db degraded");
+        // Reads keep working from the pinned cache while degraded.
+        assert_eq!(db.video_count().unwrap(), 2);
         drop(db);
         faults.heal();
-        // Recovery applies the WAL (which was fully written) or discards a
-        // torn record — either way the database is consistent.
+        // Recovery replays the WAL: both commits survive, bytes intact.
         let mut db = CbvrDatabase::on_backends(data.share(), wal.share()).unwrap();
         let videos = db.list_videos().unwrap();
-        assert!(!videos.is_empty(), "pre-crash commit must survive");
+        assert_eq!(videos.len(), 2, "both committed batches survive");
         assert!(videos.iter().any(|(_, name, _)| name == "safe"));
-        // If the doomed batch's WAL record committed, the video is whole.
+        assert!(videos.iter().any(|(_, name, _)| name == "doomed"));
         for (v_id, _, _) in &videos {
             let full = db.get_video(*v_id).unwrap();
             db.read_video_bytes(&full.row).unwrap();

@@ -51,6 +51,47 @@ impl std::error::Error for StorageError {
     }
 }
 
+impl StorageError {
+    /// True when the error is plausibly transient (interrupted syscall,
+    /// would-block, timeout) and a bounded retry may succeed. Corruption,
+    /// not-found and state errors are never transient.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+
+    /// True when the error originated from the deterministic fault
+    /// injector ([`crate::fault::FaultInjector`] or the simpler
+    /// [`crate::backend::FaultPlan`]). Used by telemetry to separate
+    /// injected faults from organic I/O failures.
+    pub fn is_injected(&self) -> bool {
+        match self {
+            StorageError::Io(e) => e.to_string().contains("injected fault"),
+            _ => false,
+        }
+    }
+
+    /// Wrap an I/O error with a `while <context>` note so a fault deep in
+    /// the pager surfaces with the operation that hit it. Non-I/O errors
+    /// pass through unchanged (they already carry their own context).
+    pub fn with_context(self, context: &str) -> StorageError {
+        match self {
+            StorageError::Io(e) => {
+                let kind = e.kind();
+                StorageError::Io(std::io::Error::new(kind, format!("{e} (while {context})")))
+            }
+            other => other,
+        }
+    }
+}
+
 impl From<std::io::Error> for StorageError {
     fn from(e: std::io::Error) -> Self {
         StorageError::Io(e)
@@ -77,5 +118,38 @@ mod tests {
     fn io_conversion() {
         let e: StorageError = std::io::Error::other("disk on fire").into();
         assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let t: StorageError =
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "blip").into();
+        assert!(t.is_transient());
+        let p: StorageError = std::io::Error::other("disk on fire").into();
+        assert!(!p.is_transient());
+        assert!(!StorageError::Corruption("bad magic".into()).is_transient());
+    }
+
+    #[test]
+    fn injected_classification() {
+        let inj: StorageError = std::io::Error::other("injected fault: crash").into();
+        assert!(inj.is_injected());
+        let organic: StorageError = std::io::Error::other("disk on fire").into();
+        assert!(!organic.is_injected());
+    }
+
+    #[test]
+    fn context_wraps_io_and_preserves_kind() {
+        let e: StorageError =
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "blip").into();
+        let e = e.with_context("wal append");
+        assert!(e.to_string().contains("wal append"));
+        assert!(e.is_transient(), "kind must survive context wrapping");
+        // Injected marker survives wrapping too.
+        let inj: StorageError = std::io::Error::other("injected fault: crash").into();
+        assert!(inj.with_context("data write").is_injected());
+        // Non-I/O errors pass through.
+        let c = StorageError::NotFound(3).with_context("ignored");
+        assert!(matches!(c, StorageError::NotFound(3)));
     }
 }

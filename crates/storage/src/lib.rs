@@ -33,6 +33,9 @@
 //! - [`tables`] — the two typed tables above plus the secondary index;
 //! - [`telemetry`] — plain-value pager/WAL counters the upper layers
 //!   merge into the process-wide metrics exposition;
+//! - [`fault`] — deterministic operation-counted fault injection and the
+//!   crash-sweep harness that proves recovery never invents a third
+//!   state;
 //! - [`db`] — [`db::CbvrDatabase`], the public facade.
 #![warn(missing_docs)]
 
@@ -42,6 +45,7 @@ pub mod btree;
 pub mod codec;
 pub mod db;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod pager;
@@ -52,5 +56,9 @@ pub mod wal;
 pub use backend::{Backend, FileBackend, MemBackend};
 pub use db::{CbvrDatabase, DbStats, ManifestSegment};
 pub use error::{Result, StorageError};
+pub use fault::{
+    run_sweep, state_digest, FaultBackend, FaultInjector, FaultKind, SweepConfig, SweepReport,
+    SweepTarget,
+};
 pub use tables::{KeyFrameRecord, KeyFrameRow, VideoRecord, VideoRow};
 pub use telemetry::StorageTelemetry;

@@ -13,12 +13,25 @@
 //!   before anything else, making a crash between the two fsyncs
 //!   invisible.
 //!
+//! The WAL fsync is the commit point. Once [`crate::wal::Wal`] reports
+//! the record durable, [`Pager::commit`] returns `Ok` even if pushing the
+//! images into the data file fails: the pager enters a *degraded* state
+//! ([`Pager::wal_pending`]) where the cache pins the committed pages, the
+//! WAL keeps the images, and every later commit (or an explicit
+//! [`Pager::checkpoint`]) retries the propagation. A crash while degraded
+//! is exactly the crash-between-fsyncs case recovery already handles.
+//!
+//! Transient I/O errors (interrupted syscalls and friends) are absorbed
+//! by bounded retry-with-backoff ([`crate::fault::with_retry`]), counted
+//! in `storage.fault.retried`.
+//!
 //! Page 0 is the pager's meta page: magic, page count, free-list head and
 //! a 64-byte user area the database layer uses for table roots and id
 //! counters.
 
 use crate::backend::Backend;
 use crate::error::{Result, StorageError};
+use crate::fault::{with_retry, FaultCounters};
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
 use crate::telemetry::StorageTelemetry;
 use crate::wal::Wal;
@@ -38,6 +51,17 @@ struct CacheEntry {
     dirty: bool,
 }
 
+/// The meta fields as of the last durable commit. [`Pager::abort`]
+/// restores from this snapshot instead of re-reading page 0: while a
+/// commit is only partially propagated, the data file's meta page may be
+/// stale or torn, but this snapshot never is.
+#[derive(Clone, Copy)]
+struct CommittedMeta {
+    page_count: u32,
+    free_head: PageId,
+    user_meta: [u8; USER_META_LEN],
+}
+
 /// The pager.
 pub struct Pager<B: Backend> {
     data: B,
@@ -50,21 +74,32 @@ pub struct Pager<B: Backend> {
     free_head: PageId,
     user_meta: [u8; USER_META_LEN],
     meta_dirty: bool,
+    committed: CommittedMeta,
+    /// True while the WAL holds committed records the data file does not:
+    /// a propagation attempt failed after the commit point. Eviction is
+    /// suspended (the cache is the only readable copy of those pages) and
+    /// the next commit or [`Pager::checkpoint`] retries the replay.
+    wal_pending: bool,
     telemetry: StorageTelemetry,
+    fault_counters: FaultCounters,
 }
 
 impl<B: Backend> Pager<B> {
     /// Open (or create) a paged store, running WAL recovery first.
     pub fn open(mut data: B, wal_backend: B, capacity: usize) -> Result<Pager<B>> {
         let mut wal = Wal::new(wal_backend);
+        let mut fault_counters = FaultCounters::default();
 
         // Recovery: push committed images into the data file.
         let (images, replayed) = wal.recover_records()?;
         if !images.is_empty() {
             for (id, page) in &images {
-                data.write_at(*id as u64 * PAGE_SIZE as u64, page.as_bytes())?;
+                let offset = *id as u64 * PAGE_SIZE as u64;
+                with_retry(&mut fault_counters, || data.write_at(offset, page.as_bytes()))
+                    .map_err(|e| e.with_context("replaying WAL image during open"))?;
             }
-            data.sync()?;
+            with_retry(&mut fault_counters, || data.sync())
+                .map_err(|e| e.with_context("syncing replayed pages during open"))?;
             wal.reset()?;
         }
 
@@ -78,7 +113,14 @@ impl<B: Backend> Pager<B> {
             free_head: NO_PAGE,
             user_meta: [0u8; USER_META_LEN],
             meta_dirty: false,
+            committed: CommittedMeta {
+                page_count: 1,
+                free_head: NO_PAGE,
+                user_meta: [0u8; USER_META_LEN],
+            },
+            wal_pending: false,
             telemetry: StorageTelemetry { wal_replays: replayed, ..StorageTelemetry::default() },
+            fault_counters,
         };
 
         if pager.data.is_empty()? {
@@ -93,7 +135,9 @@ impl<B: Backend> Pager<B> {
 
     fn load_meta(&mut self) -> Result<()> {
         let mut bytes = vec![0u8; PAGE_SIZE];
-        self.data.read_at(0, &mut bytes)?;
+        let Pager { data, fault_counters, .. } = self;
+        with_retry(fault_counters, || data.read_at(0, &mut bytes))
+            .map_err(|e| e.with_context("reading meta page"))?;
         let page = Page::from_bytes(&bytes)?;
         let mut r = page.reader(0);
         let magic = r.u32()?;
@@ -108,19 +152,24 @@ impl<B: Backend> Pager<B> {
         self.free_head = r.u32()?;
         self.user_meta.copy_from_slice(r.bytes(USER_META_LEN)?);
         self.meta_dirty = false;
+        self.committed = CommittedMeta {
+            page_count: self.page_count,
+            free_head: self.free_head,
+            user_meta: self.user_meta,
+        };
         Ok(())
     }
 
-    fn meta_page(&self) -> Page {
+    fn meta_page(&self) -> Result<Page> {
         let mut page = Page::new();
         let mut w = page.writer(0);
-        w.u32(META_MAGIC).expect("meta fits");
-        w.u32(META_VERSION).expect("meta fits");
-        w.u32(self.page_count).expect("meta fits");
-        w.u32(self.free_head).expect("meta fits");
+        w.u32(META_MAGIC)?;
+        w.u32(META_VERSION)?;
+        w.u32(self.page_count)?;
+        w.u32(self.free_head)?;
         debug_assert_eq!(w.position(), USER_META_OFFSET);
-        w.bytes(&self.user_meta).expect("meta fits");
-        page
+        w.bytes(&self.user_meta)?;
+        Ok(page)
     }
 
     /// Total pages, including the meta page.
@@ -162,6 +211,12 @@ impl<B: Backend> Pager<B> {
     }
 
     fn evict_if_needed(&mut self) {
+        if self.wal_pending {
+            // The cache holds the only readable copy of the committed
+            // pages the data file is missing; evicting one would re-read
+            // a stale or torn page. Overshoot until the replay lands.
+            return;
+        }
         while self.cache.len() > self.capacity {
             self.compact_lru();
             // Find the least-recently-used clean page.
@@ -197,7 +252,10 @@ impl<B: Backend> Pager<B> {
         }
         self.telemetry.cache_misses += 1;
         let mut bytes = vec![0u8; PAGE_SIZE];
-        self.data.read_at(id as u64 * PAGE_SIZE as u64, &mut bytes)?;
+        let offset = id as u64 * PAGE_SIZE as u64;
+        let Pager { data, fault_counters, .. } = self;
+        with_retry(fault_counters, || data.read_at(offset, &mut bytes))
+            .map_err(|e| e.with_context("reading data page"))?;
         let page = Page::from_bytes(&bytes)?;
         self.cache.insert(id, CacheEntry { page: page.clone(), dirty: false });
         self.touch(id);
@@ -251,9 +309,15 @@ impl<B: Backend> Pager<B> {
         Ok(())
     }
 
-    /// Snapshot of the counters accumulated since open.
+    /// Snapshot of the counters accumulated since open, including the
+    /// fault/retry counters from both the data path and the WAL.
     pub fn telemetry(&self) -> StorageTelemetry {
-        self.telemetry
+        let mut t = self.telemetry;
+        let mut faults = self.fault_counters;
+        faults.merge(self.wal.fault_counters());
+        t.fault_injected += faults.injected;
+        t.fault_retried += faults.retried;
+        t
     }
 
     /// Number of dirty pages staged for the next commit.
@@ -261,8 +325,62 @@ impl<B: Backend> Pager<B> {
         self.cache.values().filter(|e| e.dirty).count() + usize::from(self.meta_dirty)
     }
 
+    /// True while a durable commit still awaits propagation to the data
+    /// file (the degraded state; see the module docs).
+    pub fn wal_pending(&self) -> bool {
+        self.wal_pending
+    }
+
+    /// Push every committed WAL record into the data file and truncate
+    /// the log. No-op when nothing is pending. This is the in-process
+    /// twin of open-time recovery: full page images, idempotent, safe to
+    /// retry forever.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if !self.wal_pending {
+            return Ok(());
+        }
+        let (images, _) = self.wal.recover_records()?;
+        for (id, page) in &images {
+            let offset = *id as u64 * PAGE_SIZE as u64;
+            let Pager { data, fault_counters, .. } = self;
+            with_retry(fault_counters, || data.write_at(offset, page.as_bytes()))
+                .map_err(|e| e.with_context("propagating committed page"))?;
+        }
+        let Pager { data, fault_counters, .. } = self;
+        with_retry(fault_counters, || data.sync())
+            .map_err(|e| e.with_context("syncing propagated pages"))?;
+        self.wal.reset()?;
+        self.wal_pending = false;
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    /// Write the staged images directly (the fast path that skips
+    /// re-reading the WAL). The caller must already have appended them.
+    fn propagate(&mut self, images: &[(PageId, Page)]) -> Result<()> {
+        for (id, page) in images {
+            let offset = *id as u64 * PAGE_SIZE as u64;
+            let Pager { data, fault_counters, .. } = self;
+            with_retry(fault_counters, || data.write_at(offset, page.as_bytes()))
+                .map_err(|e| e.with_context("propagating committed page"))?;
+        }
+        let Pager { data, fault_counters, .. } = self;
+        with_retry(fault_counters, || data.sync())
+            .map_err(|e| e.with_context("syncing propagated pages"))?;
+        self.wal.reset()?;
+        Ok(())
+    }
+
     /// Durably commit all staged writes: WAL append+fsync → data
     /// write+fsync → WAL reset.
+    ///
+    /// The WAL fsync is the commit point: once the record is durable this
+    /// returns `Ok` even if the data-file propagation fails — the commit
+    /// survives a crash via replay, and the pager stays degraded
+    /// ([`Pager::wal_pending`]) until a later commit or
+    /// [`Pager::checkpoint`] lands the images. An `Err` means the commit
+    /// did NOT happen and the staged writes are still pending (abort to
+    /// drop them).
     pub fn commit(&mut self) -> Result<()> {
         let mut dirty: Vec<(PageId, Page)> = self
             .cache
@@ -271,44 +389,79 @@ impl<B: Backend> Pager<B> {
             .map(|(&id, e)| (id, e.page.clone()))
             .collect();
         dirty.sort_by_key(|(id, _)| *id);
-        let meta = if self.meta_dirty { Some(self.meta_page()) } else { None };
+        let meta = if self.meta_dirty { Some(self.meta_page()?) } else { None };
         if dirty.is_empty() && meta.is_none() {
-            return Ok(());
+            // Nothing new; use the opportunity to retry a pending replay.
+            return self.checkpoint();
         }
 
-        let mut images: Vec<(PageId, &Page)> = Vec::with_capacity(dirty.len() + 1);
-        if let Some(m) = &meta {
+        let mut images: Vec<(PageId, Page)> = Vec::with_capacity(dirty.len() + 1);
+        if let Some(m) = meta {
             images.push((0, m));
         }
-        for (id, p) in &dirty {
-            images.push((*id, p));
-        }
-        let appended = self.wal.append_commit(&images)?;
+        images.extend(dirty);
+        let refs: Vec<(PageId, &Page)> = images.iter().map(|(id, p)| (*id, p)).collect();
+        let appended = self.wal.append_commit(&refs)?;
         self.telemetry.wal_commits += 1;
         self.telemetry.wal_bytes += appended;
 
-        for (id, page) in &images {
-            self.data.write_at(*id as u64 * PAGE_SIZE as u64, page.as_bytes())?;
-        }
-        self.data.sync()?;
-        self.wal.reset()?;
-
+        // Commit point passed: the staged pages are now the durable
+        // truth, whatever happens to the data file below.
         for (_, entry) in self.cache.iter_mut() {
             entry.dirty = false;
         }
         self.meta_dirty = false;
-        self.evict_if_needed();
+        self.committed = CommittedMeta {
+            page_count: self.page_count,
+            free_head: self.free_head,
+            user_meta: self.user_meta,
+        };
+
+        let propagated = if self.wal_pending {
+            // Earlier images are still owed; replay the whole log in
+            // order (ours included) rather than racing ahead of them.
+            self.checkpoint()
+        } else {
+            self.wal_pending = true;
+            self.propagate(&images)
+        };
+        match propagated {
+            Ok(()) => {
+                self.wal_pending = false;
+                self.evict_if_needed();
+            }
+            Err(_) => {
+                // Degraded, not failed: the WAL holds the record and the
+                // cache pins the pages. Surfaced via telemetry and
+                // `wal_pending()`, healed by the next commit/checkpoint
+                // or by open-time recovery after a crash.
+            }
+        }
         Ok(())
     }
 
     /// Discard all staged writes, restoring the last committed state.
+    /// Purely in-memory: the committed meta snapshot is authoritative
+    /// even while the data file lags the WAL.
     pub fn abort(&mut self) -> Result<()> {
         self.cache.retain(|_, e| !e.dirty);
+        // While the data file lags the WAL, a dropped dirty entry may have
+        // shadowed the only readable copy of a committed page; reinstate
+        // the committed images from the WAL (later records win).
+        if self.wal_pending {
+            let (images, _) = self.wal.recover_records()?;
+            for (id, page) in images {
+                self.cache.insert(id, CacheEntry { page, dirty: false });
+            }
+        }
         self.lru.clear();
         for id in self.cache.keys() {
             self.lru.push_back(*id);
         }
-        self.load_meta()?;
+        self.page_count = self.committed.page_count;
+        self.free_head = self.committed.free_head;
+        self.user_meta = self.committed.user_meta;
+        self.meta_dirty = false;
         Ok(())
     }
 }
@@ -416,12 +569,115 @@ mod tests {
             // backend writes, so fail the data backend immediately.
             pager.write_page(id, page_of(43)).unwrap();
             faults.fail_after_writes(0);
-            assert!(pager.commit().is_err(), "data write must fail");
+            // The WAL fsync is the commit point: the commit succeeds and
+            // the pager degrades until the images can propagate.
+            pager.commit().unwrap();
+            assert!(pager.wal_pending(), "propagation failure must leave the pager degraded");
+            // The committed page stays readable from the pinned cache.
+            assert_eq!(pager.read_page(id).unwrap(), page_of(43));
         }
         faults.heal();
         // Reopen: recovery must replay the committed WAL record.
         let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
         assert_eq!(pager.read_page(1).unwrap(), page_of(43), "WAL image applied");
+    }
+
+    #[test]
+    fn checkpoint_heals_a_degraded_pager_in_process() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let faults = data.faults();
+        let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, page_of(7)).unwrap();
+        faults.fail_after_writes(0);
+        pager.commit().unwrap();
+        assert!(pager.wal_pending());
+        // Still sick: checkpoint fails, degradation persists.
+        assert!(pager.checkpoint().is_err());
+        assert!(pager.wal_pending());
+        // Backend recovers; checkpoint propagates and clears the state.
+        faults.heal();
+        pager.checkpoint().unwrap();
+        assert!(!pager.wal_pending());
+        assert_eq!(pager.read_page(id).unwrap(), page_of(7));
+        // The data file now really holds the page: a fresh pager agrees.
+        drop(pager);
+        let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        assert_eq!(pager.read_page(id).unwrap(), page_of(7));
+    }
+
+    #[test]
+    fn abort_while_degraded_restores_the_committed_snapshot() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let faults = data.faults();
+        let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, page_of(1)).unwrap();
+        let mut meta = [0u8; USER_META_LEN];
+        meta[0] = 0x11;
+        pager.set_user_meta(meta);
+        faults.fail_after_writes(0);
+        pager.commit().unwrap(); // durable in WAL, data file lags
+        assert!(pager.wal_pending());
+        // Stage more work, then abort it: the restore point must be the
+        // committed snapshot (meta[0] == 0x11), not the torn data file.
+        let mut meta2 = meta;
+        meta2[0] = 0x22;
+        pager.set_user_meta(meta2);
+        pager.write_page(id, page_of(9)).unwrap();
+        pager.abort().unwrap();
+        assert_eq!(pager.user_meta()[0], 0x11, "abort restored pre-commit meta");
+        assert_eq!(pager.read_page(id).unwrap(), page_of(1), "abort dropped staged page");
+        faults.heal();
+    }
+
+    #[test]
+    fn degraded_commits_accumulate_and_replay_in_order() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        let faults = data.faults();
+        {
+            let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+            let id = pager.allocate().unwrap();
+            pager.write_page(id, page_of(1)).unwrap();
+            pager.commit().unwrap();
+            faults.fail_after_writes(0);
+            // Two more commits while the data file is unreachable; the
+            // WAL keeps both records.
+            pager.write_page(id, page_of(2)).unwrap();
+            pager.commit().unwrap();
+            pager.write_page(id, page_of(3)).unwrap();
+            pager.commit().unwrap();
+            assert!(pager.wal_pending());
+            assert_eq!(pager.read_page(id).unwrap(), page_of(3));
+        }
+        faults.heal();
+        let mut pager = Pager::open(data.share(), wal.share(), 16).unwrap();
+        assert_eq!(pager.read_page(1).unwrap(), page_of(3), "latest commit wins after replay");
+    }
+
+    #[test]
+    fn transient_data_faults_are_retried_and_counted() {
+        let data = MemBackend::new();
+        let wal = MemBackend::new();
+        // Use the operation-counted injector for a one-shot transient.
+        let inj = crate::fault::FaultInjector::new(0);
+        let mut pager = Pager::open(
+            crate::fault::FaultBackend::new(data.share(), inj.clone()),
+            crate::fault::FaultBackend::new(wal.share(), crate::fault::FaultInjector::new(0)),
+            16,
+        )
+        .unwrap();
+        let id = pager.allocate().unwrap();
+        pager.write_page(id, page_of(5)).unwrap();
+        inj.arm_after(1, crate::fault::FaultKind::Transient);
+        pager.commit().unwrap();
+        assert!(!pager.wal_pending(), "a retried transient must not degrade the pager");
+        let t = pager.telemetry();
+        assert!(t.fault_retried >= 1, "retry must be visible in telemetry");
+        assert!(t.fault_injected >= 1, "injected fault must be visible in telemetry");
     }
 
     #[test]

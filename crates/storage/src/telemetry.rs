@@ -26,6 +26,11 @@ pub struct StorageTelemetry {
     pub wal_replays: u64,
     /// Bytes appended to the WAL across all commits.
     pub wal_bytes: u64,
+    /// I/O errors attributed to the deterministic fault injector.
+    pub fault_injected: u64,
+    /// Transient I/O errors absorbed by retry-with-backoff (the retry
+    /// succeeded, so no error reached the caller).
+    pub fault_retried: u64,
 }
 
 impl StorageTelemetry {
@@ -37,6 +42,8 @@ impl StorageTelemetry {
             format!("storage.cache.evictions {}", self.cache_evictions),
             format!("storage.cache.hits {}", self.cache_hits),
             format!("storage.cache.misses {}", self.cache_misses),
+            format!("storage.fault.injected {}", self.fault_injected),
+            format!("storage.fault.retried {}", self.fault_retried),
             format!("storage.page.writes {}", self.page_writes),
             format!("storage.wal.bytes {}", self.wal_bytes),
             format!("storage.wal.commits {}", self.wal_commits),
@@ -59,5 +66,7 @@ mod tests {
         assert!(lines.contains(&"storage.cache.hits 3".to_string()));
         assert!(lines.contains(&"storage.wal.bytes 9".to_string()));
         assert!(lines.contains(&"storage.wal.replays 0".to_string()));
+        assert!(lines.contains(&"storage.fault.injected 0".to_string()));
+        assert!(lines.contains(&"storage.fault.retried 0".to_string()));
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::backend::Backend;
 use crate::error::{Result, StorageError};
+use crate::fault::{with_retry, FaultCounters};
 use crate::page::{Page, PageId, PAGE_SIZE};
 
 const RECORD_MAGIC: u32 = 0x4357_414C;
@@ -35,20 +36,72 @@ pub fn fnv1a(data: &[u8]) -> u64 {
     hash
 }
 
+/// `u32::from_le_bytes` over a checked slice — the WAL parses attacker-
+/// grade bytes (a torn log), so out-of-bounds reads must surface as
+/// corruption, not panics.
+fn le_u32(buf: &[u8], at: usize) -> Result<u32> {
+    let Some(bytes) = buf.get(at..at + 4) else {
+        return Err(StorageError::Corruption(format!("WAL record truncated at byte {at}")));
+    };
+    let mut b = [0u8; 4];
+    b.copy_from_slice(bytes);
+    Ok(u32::from_le_bytes(b))
+}
+
+/// `u64::from_le_bytes`, same contract as [`le_u32`].
+fn le_u64(buf: &[u8], at: usize) -> Result<u64> {
+    let Some(bytes) = buf.get(at..at + 8) else {
+        return Err(StorageError::Corruption(format!("WAL record truncated at byte {at}")));
+    };
+    let mut b = [0u8; 8];
+    b.copy_from_slice(bytes);
+    Ok(u64::from_le_bytes(b))
+}
+
 /// The write-ahead log over a byte backend.
 pub struct Wal<B: Backend> {
     backend: B,
+    faults: FaultCounters,
+    /// Byte offset of a failed append. The record after it may be
+    /// complete on disk even though the caller saw an error, so it must
+    /// be truncated away before anything else is appended — otherwise a
+    /// later crash would replay a commit the engine rolled back.
+    suspect_from: Option<u64>,
 }
 
 impl<B: Backend> Wal<B> {
     /// Wrap a backend.
     pub fn new(backend: B) -> Wal<B> {
-        Wal { backend }
+        Wal { backend, faults: FaultCounters::default(), suspect_from: None }
+    }
+
+    /// Retry counters accumulated by this log (merged into
+    /// `storage.fault.*` by the pager).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+    }
+
+    /// Drop the suspect tail left by a failed append, if any.
+    fn ensure_clean_tail(&mut self) -> Result<()> {
+        if let Some(from) = self.suspect_from {
+            let Wal { backend, faults, .. } = self;
+            with_retry(faults, || {
+                backend.truncate(from)?;
+                backend.sync()
+            })
+            .map_err(|e| e.with_context("truncating suspect WAL tail"))?;
+            self.suspect_from = None;
+        }
+        Ok(())
     }
 
     /// Append one committed record of page images and fsync. Returns the
-    /// number of bytes appended (telemetry: `storage.wal.bytes`).
+    /// number of bytes appended (telemetry: `storage.wal.bytes`). The
+    /// record is durable — the commit point — exactly when this returns
+    /// `Ok`; on error the log is restored (or marked for restoration) to
+    /// its previous length.
     pub fn append_commit(&mut self, pages: &[(PageId, &Page)]) -> Result<u64> {
+        self.ensure_clean_tail()?;
         let mut buf = Vec::with_capacity(8 + pages.len() * (4 + PAGE_SIZE) + 12);
         buf.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
         buf.extend_from_slice(&(pages.len() as u32).to_le_bytes());
@@ -60,10 +113,25 @@ impl<B: Backend> Wal<B> {
         buf.extend_from_slice(&crc.to_le_bytes());
         buf.extend_from_slice(&COMMIT_MAGIC.to_le_bytes());
 
-        let offset = self.backend.len()?;
-        self.backend.write_at(offset, &buf)?;
-        self.backend.sync()?;
-        Ok(buf.len() as u64)
+        // Pin the append offset before the first attempt: a retry after a
+        // partial write must rewrite the same bytes at the same place.
+        // Re-probing `len()` there would append after its own garbage.
+        let offset = self.backend.len().map_err(|e| e.with_context("probing WAL length"))?;
+        let Wal { backend, faults, .. } = self;
+        let appended = with_retry(faults, || {
+            backend.write_at(offset, &buf)?;
+            backend.sync()
+        });
+        match appended {
+            Ok(()) => Ok(buf.len() as u64),
+            Err(e) => {
+                // The bytes past `offset` are in an unknown state; remove
+                // them now or remember to before the next append.
+                self.suspect_from = Some(offset);
+                let _ = self.ensure_clean_tail();
+                Err(e.with_context("appending WAL commit record"))
+            }
+        }
     }
 
     /// Scan the log, returning the page images of every fully committed
@@ -81,29 +149,35 @@ impl<B: Backend> Wal<B> {
         let mut offset = 0u64;
         while offset + 8 <= len {
             let mut header = [0u8; 8];
-            self.backend.read_at(offset, &mut header)?;
-            let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+            let Wal { backend, faults, .. } = self;
+            with_retry(faults, || backend.read_at(offset, &mut header))
+                .map_err(|e| e.with_context("reading WAL record header"))?;
+            let magic = le_u32(&header, 0)?;
             if magic != RECORD_MAGIC {
                 break; // garbage tail
             }
-            let count = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as u64;
+            let count = le_u32(&header, 4)? as u64;
             let body_len = 8 + count * (4 + PAGE_SIZE as u64);
             let total_len = body_len + 8 + 4; // + crc + commit marker
             if offset + total_len > len {
                 break; // torn record
             }
             let mut body = vec![0u8; body_len as usize];
-            self.backend.read_at(offset, &mut body)?;
+            let Wal { backend, faults, .. } = self;
+            with_retry(faults, || backend.read_at(offset, &mut body))
+                .map_err(|e| e.with_context("reading WAL record body"))?;
             let mut tail = [0u8; 12];
-            self.backend.read_at(offset + body_len, &mut tail)?;
-            let crc = u64::from_le_bytes(tail[0..8].try_into().expect("8 bytes"));
-            let commit = u32::from_le_bytes(tail[8..12].try_into().expect("4 bytes"));
+            let Wal { backend, faults, .. } = self;
+            with_retry(faults, || backend.read_at(offset + body_len, &mut tail))
+                .map_err(|e| e.with_context("reading WAL record tail"))?;
+            let crc = le_u64(&tail, 0)?;
+            let commit = le_u32(&tail, 8)?;
             if crc != fnv1a(&body) || commit != COMMIT_MAGIC {
                 break; // corrupt or uncommitted
             }
             let mut pos = 8usize;
             for _ in 0..count {
-                let id = u32::from_le_bytes(body[pos..pos + 4].try_into().expect("4 bytes"));
+                let id = le_u32(&body, pos)?;
                 pos += 4;
                 let page = Page::from_bytes(&body[pos..pos + PAGE_SIZE])
                     .map_err(|e| StorageError::Corruption(format!("bad WAL image: {e}")))?;
@@ -118,8 +192,13 @@ impl<B: Backend> Wal<B> {
 
     /// Drop every record (after a checkpoint propagated them).
     pub fn reset(&mut self) -> Result<()> {
-        self.backend.truncate(0)?;
-        self.backend.sync()?;
+        let Wal { backend, faults, .. } = self;
+        with_retry(faults, || {
+            backend.truncate(0)?;
+            backend.sync()
+        })
+        .map_err(|e| e.with_context("resetting WAL"))?;
+        self.suspect_from = None;
         Ok(())
     }
 
@@ -226,5 +305,40 @@ mod tests {
         wal.append_commit(&[]).unwrap();
         assert!(wal.recover().unwrap().is_empty());
         assert!(!wal.is_empty().unwrap());
+    }
+
+    #[test]
+    fn transient_append_fault_is_retried_at_the_same_offset() {
+        use crate::fault::{FaultBackend, FaultInjector, FaultKind};
+        let mem = MemBackend::new();
+        let inj = FaultInjector::new(0);
+        let mut wal = Wal::new(FaultBackend::new(mem.share(), inj.clone()));
+        wal.append_commit(&[(1, &page_of(1))]).unwrap();
+        inj.arm_after(1, FaultKind::Transient); // the next write blips once
+        wal.append_commit(&[(2, &page_of(2))]).unwrap();
+        assert!(wal.fault_counters().retried >= 1, "retry must be recorded");
+        let images = Wal::new(mem.share()).recover().unwrap();
+        assert_eq!(images.len(), 2, "both records intact after the retried append");
+        assert_eq!(images[1].0, 2);
+    }
+
+    #[test]
+    fn failed_append_tail_never_replays() {
+        use crate::fault::{FaultBackend, FaultInjector, FaultKind};
+        let mem = MemBackend::new();
+        let inj = FaultInjector::new(0);
+        let mut wal = Wal::new(FaultBackend::new(mem.share(), inj.clone()));
+        wal.append_commit(&[(1, &page_of(1))]).unwrap(); // ops 1-2
+        // Crash the fsync of the second append: its bytes are complete on
+        // disk but the caller sees an error and rolls the commit back.
+        inj.arm_after(2, FaultKind::Crash); // op 3 write lands, op 4 sync dies
+        assert!(wal.append_commit(&[(2, &page_of(2))]).is_err());
+        inj.heal();
+        // The rolled-back record must be gone before the next append so a
+        // later replay cannot resurrect it under record 3.
+        wal.append_commit(&[(3, &page_of(3))]).unwrap();
+        let images = Wal::new(mem.share()).recover().unwrap();
+        let ids: Vec<_> = images.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 3], "aborted record 2 resurrected");
     }
 }
